@@ -1,0 +1,125 @@
+// Component microbenchmarks (google-benchmark): the engineering costs
+// behind the simulator and the TFC switch data path. These back the
+// implementation-cost discussion (paper Sec. 5: the NetFPGA TFC switch adds
+// ~30-58% logic; here we show the simulated data path stays cheap enough
+// for large-scale runs).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/benchmark_traffic.h"
+#include "src/workload/persistent_flow.h"
+
+namespace tfc {
+namespace {
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    int sink = 0;
+    for (int i = 0; i < batch; ++i) {
+      sched.ScheduleAt(i, [&sink] { ++sink; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SchedulerScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<Scheduler::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sched.ScheduleAt(i, [] {}));
+    }
+    for (auto id : ids) {
+      sched.Cancel(id);
+    }
+    sched.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_TfcOnEgressDataPath(benchmark::State& state) {
+  Network net(1);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Switch* sw = net.AddSwitch("sw");
+  net.Link(a, sw, kGbps, 0);
+  net.Link(sw, b, kGbps, 0);
+  net.BuildRoutes();
+  Port* egress = Network::FindPort(sw, b);
+  egress->set_agent(std::make_unique<TfcPortAgent>(sw, egress, TfcSwitchConfig()));
+  TfcPortAgent* agent = TfcPortAgent::FromPort(egress);
+
+  Packet pkt;
+  pkt.flow_id = 1;
+  pkt.src = a->id();
+  pkt.dst = b->id();
+  pkt.type = PacketType::kData;
+  pkt.payload = kMssBytes;
+  int i = 0;
+  for (auto _ : state) {
+    pkt.rm = (++i % 8) == 0;  // a round mark every 8 packets
+    pkt.window = kWindowInfinite;
+    agent->OnEgress(pkt);
+    benchmark::DoNotOptimize(pkt.window);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TfcOnEgressDataPath);
+
+void BM_EmpiricalCdfSample(benchmark::State& state) {
+  EmpiricalCdf cdf = WebSearchFlowSizes();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdf.Sample(rng));
+  }
+}
+BENCHMARK(BM_EmpiricalCdfSample);
+
+// Whole-simulator throughput: simulated packet-hops per wall second for a
+// saturated 8-flow star under each protocol.
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const auto protocol = static_cast<Protocol>(state.range(0));
+  for (auto _ : state) {
+    ProtocolSuite suite;
+    suite.protocol = protocol;
+    Network net(9);
+    LinkOptions opts;
+    opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+    StarTopology topo = BuildStar(net, 9, opts);
+    suite.InstallSwitchLogic(net);
+    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    for (int i = 1; i <= 8; ++i) {
+      flows.push_back(std::make_unique<PersistentFlow>(
+          suite.MakeSender(&net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0])));
+      flows.back()->Start();
+    }
+    net.scheduler().RunUntil(Milliseconds(20));
+    state.counters["events"] = static_cast<double>(net.scheduler().executed());
+  }
+}
+BENCHMARK(BM_EndToEndSimulation)
+    ->Arg(static_cast<int>(Protocol::kTcp))
+    ->Arg(static_cast<int>(Protocol::kDctcp))
+    ->Arg(static_cast<int>(Protocol::kTfc))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tfc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Quickstart: the smallest complete TFC simulation.
+//
+// Builds a three-host star, installs TFC on the switch, runs two long-lived
+// flows plus one late joiner, and prints per-flow goodput, switch queue
+// occupancy, and the TFC state of the bottleneck port.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
+
+int main() {
+  using namespace tfc;
+
+  // 1. Topology: three senders + one receiver on a 1 Gbps switch.
+  Network net(/*seed=*/42);
+  StarTopology topo = BuildStar(net, /*num_hosts=*/4);
+  Host* receiver = topo.hosts[0];
+
+  // 2. Protocol: attach the TFC agent to every switch port.
+  InstallTfcSwitches(net);
+
+  // 3. Workload: two flows from the start, a third joining at t = 50 ms.
+  std::vector<std::unique_ptr<PersistentFlow>> flows;
+  for (int i = 1; i <= 3; ++i) {
+    flows.push_back(std::make_unique<PersistentFlow>(
+        std::make_unique<TfcSender>(&net, topo.hosts[static_cast<size_t>(i)],
+                                    receiver, TfcHostConfig())));
+  }
+  flows[0]->Start();
+  flows[1]->Start();
+  net.scheduler().ScheduleAt(Milliseconds(50), [&] { flows[2]->Start(); });
+
+  // 4. Run and report in 25 ms windows.
+  Port* bottleneck = Network::FindPort(topo.sw, receiver);
+  TfcPortAgent* agent = TfcPortAgent::FromPort(bottleneck);
+  std::printf("%8s %10s %10s %10s %8s %8s %8s\n", "time(ms)", "flow1(Mbps)",
+              "flow2(Mbps)", "flow3(Mbps)", "E", "W(B)", "queue(B)");
+  std::vector<uint64_t> last(flows.size(), 0);
+  for (int ms = 25; ms <= 200; ms += 25) {
+    net.scheduler().RunUntil(Milliseconds(ms));
+    std::printf("%8d", ms);
+    for (size_t i = 0; i < flows.size(); ++i) {
+      const uint64_t d = flows[i]->delivered_bytes();
+      std::printf(" %10.1f", static_cast<double>(d - last[i]) * 8.0 / 0.025 / 1e6);
+      last[i] = d;
+    }
+    std::printf(" %8d %8.0f %8llu\n", agent->last_effective_flows(),
+                agent->window_bytes(),
+                static_cast<unsigned long long>(bottleneck->queue_bytes()));
+  }
+
+  std::printf("\nbottleneck: drops=%llu max_queue=%llu bytes\n",
+              static_cast<unsigned long long>(bottleneck->drops()),
+              static_cast<unsigned long long>(bottleneck->max_queue_bytes()));
+  std::printf("Note how the late joiner converges to the fair share within a "
+              "few RTTs\nand the queue stays at a couple of packets.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Storm-like on-off traffic: why effective-flow counting matters.
+//
+//   ./storm_onoff
+//
+// Ten long-lived connections share one 1 Gbps port, but only a changing
+// subset is active at any time (the others are "silent flows" — open
+// connections with nothing to send, exactly the Storm executor pattern the
+// paper motivates in Sec. 2). The switch's measured number of effective
+// flows E tracks the active subset, so the active flows always share the
+// full link instead of being throttled to 1/10 each.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
+
+int main() {
+  using namespace tfc;
+  constexpr int kFlows = 10;
+
+  Network net(11);
+  StarTopology topo = BuildStar(net, kFlows + 1);
+  Host* receiver = topo.hosts[0];
+  InstallTfcSwitches(net);
+
+  std::vector<std::unique_ptr<PersistentFlow>> flows;
+  for (int i = 1; i <= kFlows; ++i) {
+    flows.push_back(std::make_unique<PersistentFlow>(
+        std::make_unique<TfcSender>(&net, topo.hosts[static_cast<size_t>(i)],
+                                    receiver, TfcHostConfig())));
+    flows.back()->Start();
+  }
+
+  Port* bottleneck = Network::FindPort(topo.sw, receiver);
+  TfcPortAgent* agent = TfcPortAgent::FromPort(bottleneck);
+
+  // Average E over each phase via the slot callback.
+  double e_sum = 0;
+  int e_count = 0;
+  agent->on_slot = [&](const TfcPortAgent::SlotInfo& info) {
+    e_sum += info.effective_flows;
+    ++e_count;
+  };
+
+  std::printf("%10s %8s %12s %14s %10s\n", "phase", "active", "measured_E",
+              "goodput(Mbps)", "queue(B)");
+  const int schedule[] = {10, 6, 3, 1, 5, 10};
+  uint64_t last_total = 0;
+  TimeNs t = Milliseconds(50);
+  net.scheduler().RunUntil(t);  // warm up
+  for (uint64_t d = 0; auto& f : flows) {
+    d += f->delivered_bytes();
+    last_total = d;
+  }
+  int phase = 0;
+  for (int active : schedule) {
+    for (int i = 0; i < kFlows; ++i) {
+      flows[static_cast<size_t>(i)]->SetActive(i < active);
+    }
+    e_sum = 0;
+    e_count = 0;
+    t += Milliseconds(100);
+    net.scheduler().RunUntil(t);
+    uint64_t total = 0;
+    for (auto& f : flows) {
+      total += f->delivered_bytes();
+    }
+    std::printf("%10d %8d %12.2f %14.1f %10llu\n", ++phase, active,
+                e_count > 0 ? e_sum / e_count : 0.0,
+                static_cast<double>(total - last_total) * 8.0 / 0.1 / 1e6,
+                static_cast<unsigned long long>(bottleneck->queue_bytes()));
+    last_total = total;
+  }
+
+  std::printf("\nE follows the active subset and goodput stays at line rate\n"
+              "whether 1 or 10 of the connections are talking. drops=%llu\n",
+              static_cast<unsigned long long>(bottleneck->drops()));
+  return 0;
+}

@@ -1,0 +1,295 @@
+// tfcsim — scenario driver for the TFC simulator.
+//
+// One binary to run any combination of workload, protocol, and topology
+// from the command line and get a standard report (goodput, FCT, queues,
+// loss), with optional packet tracing.
+//
+//   ./tfcsim --workload=incast --protocol=tfc --senders=60
+//   ./tfcsim --workload=shuffle --protocol=dctcp --topology=fattree
+//   ./tfcsim --workload=longflows --protocol=tcp --flows=8 --duration=2
+//   ./tfcsim --workload=benchmark --protocol=tfc --topology=leafspine
+//   ./tfcsim --help
+//
+// Flags (all optional):
+//   --workload=incast|shuffle|longflows|benchmark     (default incast)
+//   --protocol=tfc|dctcp|tcp|all                      (default tfc)
+//   --topology=star|testbed|leafspine|fattree         (default star)
+//   --senders=N  --flows=N  --block_kb=N  --rounds=N  --duration=SECONDS
+//   --gbps=N (link rate)  --seed=N  --trace=FILE  --quick
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/trace.h"
+#include "src/topo/topologies.h"
+#include "src/workload/benchmark_traffic.h"
+#include "src/workload/incast.h"
+#include "src/workload/persistent_flow.h"
+#include "src/workload/shuffle.h"
+
+namespace {
+
+using namespace tfc;
+
+struct Options {
+  std::string workload = "incast";
+  std::string protocol = "tfc";
+  std::string topology = "star";
+  int senders = 40;
+  int flows = 4;
+  uint64_t block_kb = 256;
+  int rounds = 10;
+  double duration_s = 1.0;
+  uint64_t gbps = 1;
+  uint64_t seed = 1;
+  std::string trace_file;
+};
+
+void PrintHelp() {
+  std::puts(
+      "tfcsim - TFC simulator scenario driver\n"
+      "  --workload=incast|shuffle|longflows|benchmark   (default incast)\n"
+      "  --protocol=tfc|dctcp|tcp|all                    (default tfc)\n"
+      "  --topology=star|testbed|leafspine|fattree       (default star)\n"
+      "  --senders=N      incast responders               (default 40)\n"
+      "  --flows=N        longflows/shuffle participants  (default 4)\n"
+      "  --block_kb=N     incast block / shuffle block    (default 256)\n"
+      "  --rounds=N       incast rounds                   (default 10)\n"
+      "  --duration=S     longflows/benchmark seconds     (default 1.0)\n"
+      "  --gbps=N         edge link rate                  (default 1)\n"
+      "  --seed=N         RNG seed                        (default 1)\n"
+      "  --trace=FILE     write a packet trace (ns-2 style text)");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+struct BuiltTopology {
+  std::vector<Host*> hosts;
+  std::vector<Switch*> switches;
+};
+
+BuiltTopology Build(Network& net, const Options& opt, const LinkOptions& link_opts) {
+  BuiltTopology out;
+  const uint64_t bps = opt.gbps * kGbps;
+  if (opt.topology == "testbed") {
+    TestbedTopology t = BuildTestbed(net, link_opts, bps);
+    out.hosts = t.hosts;
+    out.switches = t.switches;
+  } else if (opt.topology == "leafspine") {
+    LeafSpineTopology t = BuildLeafSpine(net, 6, 8, link_opts, bps, 10 * bps);
+    out.hosts = t.all_hosts;
+    out.switches = t.leaves;
+    out.switches.push_back(t.spine);
+  } else if (opt.topology == "fattree") {
+    FatTreeTopology t = BuildFatTree(net, 4, link_opts, bps);
+    out.hosts = t.hosts;
+    out.switches = t.cores;
+  } else {  // star
+    const int hosts = std::max(opt.senders + 1, opt.flows + 1);
+    StarTopology t = BuildStar(net, hosts, link_opts, bps);
+    out.hosts = t.hosts;
+    out.switches.push_back(t.sw);
+  }
+  return out;
+}
+
+struct PortTotals {
+  uint64_t drops = 0;
+  uint64_t max_queue = 0;
+};
+
+PortTotals SwitchTotals(const Network& net) {
+  PortTotals totals;
+  for (const auto& node : net.nodes()) {
+    if (node->is_host()) {
+      continue;
+    }
+    for (const auto& port : node->ports()) {
+      totals.drops += port->drops();
+      totals.max_queue = std::max(totals.max_queue, port->max_queue_bytes());
+    }
+  }
+  return totals;
+}
+
+int RunOne(const Options& opt, Protocol protocol) {
+  ProtocolSuite suite;
+  suite.protocol = protocol;
+  Network net(opt.seed);
+  LinkOptions link_opts;
+  link_opts.ecn_threshold_bytes = suite.EcnThresholdBytes(opt.gbps * kGbps);
+  BuiltTopology topo = Build(net, opt, link_opts);
+  suite.InstallSwitchLogic(net);
+
+  std::ofstream trace_out;
+  std::unique_ptr<TextTracer> tracer;
+  if (!opt.trace_file.empty()) {
+    trace_out.open(opt.trace_file);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n", opt.trace_file.c_str());
+      return 1;
+    }
+    tracer = std::make_unique<TextTracer>(&trace_out);
+    net.set_tracer(tracer.get());
+  }
+
+  std::printf("--- %s | %s | %s ---\n", suite.name(), opt.workload.c_str(),
+              opt.topology.c_str());
+
+  if (opt.workload == "incast") {
+    if (static_cast<size_t>(opt.senders) + 1 > topo.hosts.size()) {
+      std::fprintf(stderr, "topology too small for %d senders\n", opt.senders);
+      return 1;
+    }
+    std::vector<Host*> responders(topo.hosts.begin() + 1,
+                                  topo.hosts.begin() + 1 + opt.senders);
+    IncastConfig cfg;
+    cfg.block_bytes = opt.block_kb * 1024;
+    cfg.rounds = opt.rounds;
+    IncastApp app(&net, suite, topo.hosts[0], responders, cfg);
+    app.Start();
+    net.scheduler().RunUntil(Seconds(600));
+    PortTotals totals = SwitchTotals(net);
+    std::printf("rounds=%d/%d goodput=%.1fMbps timeouts=%llu maxTO/block=%.2f "
+                "drops=%llu maxq=%.1fKB\n",
+                app.rounds_completed(), opt.rounds, app.goodput_bps() / 1e6,
+                static_cast<unsigned long long>(app.total_timeouts()),
+                app.max_timeouts_per_block(),
+                static_cast<unsigned long long>(totals.drops),
+                static_cast<double>(totals.max_queue) / 1024.0);
+  } else if (opt.workload == "shuffle") {
+    std::vector<Host*> participants(topo.hosts.begin(),
+                                    topo.hosts.begin() + std::min<size_t>(
+                                                             topo.hosts.size(),
+                                                             static_cast<size_t>(opt.flows)));
+    ShuffleConfig cfg;
+    cfg.block_bytes = opt.block_kb * 1024;
+    ShuffleApp app(&net, suite, participants, cfg);
+    app.Start();
+    net.scheduler().RunUntil(Seconds(600));
+    PortTotals totals = SwitchTotals(net);
+    std::printf("flows=%zu/%zu elapsed=%.3fs goodput=%.1fMbps timeouts=%llu "
+                "drops=%llu maxq=%.1fKB\n",
+                app.flows_completed(), app.flows_total(), ToSeconds(app.elapsed()),
+                app.goodput_bps() / 1e6,
+                static_cast<unsigned long long>(app.total_timeouts()),
+                static_cast<unsigned long long>(totals.drops),
+                static_cast<double>(totals.max_queue) / 1024.0);
+  } else if (opt.workload == "longflows") {
+    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    for (int i = 1; i <= opt.flows && static_cast<size_t>(i) < topo.hosts.size(); ++i) {
+      flows.push_back(std::make_unique<PersistentFlow>(
+          suite.MakeSender(&net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0])));
+      flows.back()->Start();
+    }
+    net.scheduler().RunUntil(Seconds(opt.duration_s));
+    uint64_t delivered = 0;
+    for (auto& f : flows) {
+      delivered += f->delivered_bytes();
+    }
+    PortTotals totals = SwitchTotals(net);
+    std::printf("flows=%zu goodput=%.1fMbps drops=%llu maxq=%.1fKB\n", flows.size(),
+                static_cast<double>(delivered) * 8.0 / opt.duration_s / 1e6,
+                static_cast<unsigned long long>(totals.drops),
+                static_cast<double>(totals.max_queue) / 1024.0);
+  } else if (opt.workload == "benchmark") {
+    BenchmarkTrafficConfig cfg;
+    cfg.stop_time = Seconds(opt.duration_s);
+    BenchmarkTrafficApp app(&net, suite, topo.hosts, cfg);
+    app.Start();
+    net.scheduler().RunUntil(Seconds(opt.duration_s) + Seconds(30));
+    std::printf("flows=%llu/%llu query FCT: mean=%.1fus 99th=%.1fus 99.9th=%.1fus "
+                "timeouts=%llu\n",
+                static_cast<unsigned long long>(app.flows_completed()),
+                static_cast<unsigned long long>(app.flows_started()),
+                app.fct().query().Mean(), app.fct().query().Percentile(99),
+                app.fct().query().Percentile(99.9),
+                static_cast<unsigned long long>(app.total_timeouts()));
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+    return 1;
+  }
+
+  if (tracer != nullptr) {
+    std::printf("trace: %llu events -> %s\n",
+                static_cast<unsigned long long>(tracer->events_written()),
+                opt.trace_file.c_str());
+    net.set_tracer(nullptr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (ParseFlag(arg, "workload", &opt.workload) ||
+               ParseFlag(arg, "protocol", &opt.protocol) ||
+               ParseFlag(arg, "topology", &opt.topology) ||
+               ParseFlag(arg, "trace", &opt.trace_file)) {
+      continue;
+    } else if (ParseFlag(arg, "senders", &value)) {
+      opt.senders = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "flows", &value)) {
+      opt.flows = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "block_kb", &value)) {
+      opt.block_kb = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "rounds", &value)) {
+      opt.rounds = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "duration", &value)) {
+      opt.duration_s = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "gbps", &value)) {
+      opt.gbps = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "seed", &value)) {
+      opt.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg);
+      return 1;
+    }
+  }
+  if (opt.senders < 1 || opt.flows < 1 || opt.rounds < 1 || opt.gbps < 1 ||
+      opt.duration_s <= 0) {
+    std::fprintf(stderr, "numeric flags must be positive\n");
+    return 1;
+  }
+
+  std::vector<tfc::Protocol> protocols;
+  if (opt.protocol == "all") {
+    protocols = {tfc::Protocol::kTfc, tfc::Protocol::kDctcp, tfc::Protocol::kTcp};
+  } else if (opt.protocol == "tfc") {
+    protocols = {tfc::Protocol::kTfc};
+  } else if (opt.protocol == "dctcp") {
+    protocols = {tfc::Protocol::kDctcp};
+  } else if (opt.protocol == "tcp") {
+    protocols = {tfc::Protocol::kTcp};
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s' (tfc|dctcp|tcp|all)\n",
+                 opt.protocol.c_str());
+    return 1;
+  }
+  for (tfc::Protocol p : protocols) {
+    const int rc = RunOne(opt, p);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
+}

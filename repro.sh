@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full reproduction driver: configure, build, test, regenerate every paper
+# figure, and leave the transcripts next to this script.
+#
+#   ./repro.sh            # full run (tests + all figures, ~5 minutes)
+#   ./repro.sh --quick    # smoke: same coverage, shrunk durations
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "### $(basename "$b")" | tee -a bench_output.txt
+    "$b" ${QUICK:+--quick} 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done
+
+echo "done: see test_output.txt and bench_output.txt"

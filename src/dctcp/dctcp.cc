@@ -1,0 +1,38 @@
+#include "src/dctcp/dctcp.h"
+
+#include <algorithm>
+
+namespace tfc {
+
+DctcpSender::DctcpSender(Network* network, Host* local, Host* remote, const DctcpConfig& config)
+    : TcpSender(network, local, remote, config.tcp), config_(config) {}
+
+void DctcpSender::OnAckedData(const Packet& ack, uint64_t newly_acked) {
+  acked_window_ += newly_acked;
+  if (ack.ecn_echo) {
+    marked_window_ += newly_acked;
+    // React once per window of data.
+    if (acked_bytes() > reduce_end_seq_) {
+      const double reduced = cwnd_bytes() * (1.0 - alpha_ / 2.0);
+      set_cwnd(reduced);
+      set_ssthresh(std::max(reduced, 2.0 * mss()));
+      reduce_end_seq_ = acked_bytes() + inflight_bytes();
+    }
+  } else {
+    // Unmarked progress grows the window exactly like TCP.
+    GrowWindow(newly_acked);
+  }
+
+  if (acked_bytes() > alpha_update_seq_) {
+    const double f =
+        acked_window_ > 0
+            ? static_cast<double>(marked_window_) / static_cast<double>(acked_window_)
+            : 0.0;
+    alpha_ = (1.0 - config_.g) * alpha_ + config_.g * f;
+    acked_window_ = 0;
+    marked_window_ = 0;
+    alpha_update_seq_ = acked_bytes() + inflight_bytes();
+  }
+}
+
+}  // namespace tfc

@@ -1,0 +1,52 @@
+#include "src/net/host.h"
+
+#include "src/net/network.h"
+#include "src/sim/check.h"
+
+namespace tfc {
+
+Host::Host(Network* network, int id, std::string name)
+    : Node(network, id, std::move(name)) {}
+
+void Host::Receive(PacketPtr pkt, Port* ingress) {
+  (void)ingress;
+  network_->EmitTrace(TraceEventType::kDeliver, *pkt, this, nullptr);
+  auto it = endpoints_.find(pkt->flow_id);
+  if (it == endpoints_.end()) {
+    // Packet for a finished/unknown flow (e.g. a retransmitted FIN's ACK
+    // arriving after teardown): drop silently but account it.
+    ++unroutable_;
+    return;
+  }
+  it->second->OnReceive(std::move(pkt));
+}
+
+void Host::Send(PacketPtr pkt) {
+  TFC_CHECK(!ports_.empty());
+  Scheduler& sched = network_->scheduler();
+  TimeNs delay = proc_base_;
+  if (proc_jitter_ > 0) {
+    delay += static_cast<TimeNs>(network_->rng().Uniform(0.0, static_cast<double>(proc_jitter_)));
+  }
+  if (delay == 0) {
+    nic()->Enqueue(std::move(pkt));
+    return;
+  }
+  // Preserve FIFO departure order under random delay.
+  TimeNs depart = sched.now() + delay;
+  if (depart < last_departure_) {
+    depart = last_departure_;
+  }
+  last_departure_ = depart;
+  Packet* raw = pkt.release();
+  Port* nic_port = nic();
+  sched.ScheduleAt(depart, [nic_port, raw] { nic_port->Enqueue(PacketPtr(raw)); });
+}
+
+void Host::RegisterEndpoint(int flow_id, Endpoint* ep) {
+  TFC_CHECK(endpoints_.emplace(flow_id, ep).second);
+}
+
+void Host::UnregisterEndpoint(int flow_id) { endpoints_.erase(flow_id); }
+
+}  // namespace tfc

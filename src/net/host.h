@@ -1,0 +1,62 @@
+// End host: owns transport endpoints and a single NIC port.
+//
+// The host models a configurable random per-packet processing delay on the
+// send path (OS stack + NIC). The delay is applied so that packet order is
+// preserved (a later packet never departs before an earlier one), matching
+// how a real transmit path behaves. This is the jitter source behind the
+// paper's Fig. 6 observation that the switch-measured rtt_b sits a constant
+// few microseconds below the full reference RTT.
+
+#ifndef SRC_NET_HOST_H_
+#define SRC_NET_HOST_H_
+
+#include <unordered_map>
+
+#include "src/net/node.h"
+#include "src/sim/random.h"
+
+namespace tfc {
+
+// Transport endpoint interface (a sender or receiver half of a flow).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void OnReceive(PacketPtr pkt) = 0;
+};
+
+class Host : public Node {
+ public:
+  Host(Network* network, int id, std::string name);
+
+  bool is_host() const override { return true; }
+
+  void Receive(PacketPtr pkt, Port* ingress) override;
+
+  // Sends through the NIC, applying the host processing-delay model.
+  void Send(PacketPtr pkt);
+
+  // Endpoint registration: packets are dispatched by flow id.
+  void RegisterEndpoint(int flow_id, Endpoint* ep);
+  void UnregisterEndpoint(int flow_id);
+
+  // Host processing delay: base + Uniform[0, jitter) per packet.
+  void set_processing_delay(TimeNs base, TimeNs jitter) {
+    proc_base_ = base;
+    proc_jitter_ = jitter;
+  }
+
+  Port* nic() const { return ports_.at(0).get(); }
+
+  uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  std::unordered_map<int, Endpoint*> endpoints_;
+  TimeNs proc_base_ = 0;
+  TimeNs proc_jitter_ = 0;
+  TimeNs last_departure_ = 0;
+  uint64_t unroutable_ = 0;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_NET_HOST_H_

@@ -1,0 +1,108 @@
+#include "src/net/network.h"
+
+#include <queue>
+
+#include "src/sim/check.h"
+
+namespace tfc {
+
+Host* Network::AddHost(std::string name) {
+  auto host = std::make_unique<Host>(this, num_nodes(), std::move(name));
+  Host* raw = host.get();
+  nodes_.push_back(std::move(host));
+  return raw;
+}
+
+Switch* Network::AddSwitch(std::string name) {
+  auto sw = std::make_unique<Switch>(this, num_nodes(), std::move(name));
+  Switch* raw = sw.get();
+  nodes_.push_back(std::move(sw));
+  return raw;
+}
+
+Port* Network::Link(Node* a, Node* b, uint64_t bps, TimeNs prop_delay,
+                    const LinkOptions& opts) {
+  Port* pa = a->AddPort();
+  Port* pb = b->AddPort();
+  pa->Connect(pb, bps, prop_delay);
+  pb->Connect(pa, bps, prop_delay);
+  pa->set_buffer_limit(a->is_host() ? opts.host_buffer_bytes : opts.switch_buffer_bytes);
+  pb->set_buffer_limit(b->is_host() ? opts.host_buffer_bytes : opts.switch_buffer_bytes);
+  if (opts.ecn_threshold_bytes > 0) {
+    if (!a->is_host()) {
+      pa->set_ecn_threshold(opts.ecn_threshold_bytes);
+    }
+    if (!b->is_host()) {
+      pb->set_ecn_threshold(opts.ecn_threshold_bytes);
+    }
+  }
+  return pa;
+}
+
+void Network::BuildRoutes() {
+  const size_t n = static_cast<size_t>(num_nodes());
+  // toward[dest][v] = every port of node v that lies on a shortest path to
+  // dest (the ECMP set), in port-index order for determinism.
+  std::vector<std::vector<std::vector<Port*>>> toward(
+      n, std::vector<std::vector<Port*>>(n));
+
+  for (size_t dest = 0; dest < n; ++dest) {
+    std::vector<int> dist(n, -1);
+    std::queue<size_t> frontier;
+    dist[dest] = 0;
+    frontier.push(dest);
+    while (!frontier.empty()) {
+      const size_t u = frontier.front();
+      frontier.pop();
+      for (const auto& up : node(static_cast<int>(u))->ports()) {
+        if (up->peer() == nullptr) {
+          continue;
+        }
+        const size_t v = static_cast<size_t>(up->peer()->id());
+        if (dist[v] == -1) {
+          dist[v] = dist[u] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+    // Second pass: for every node, every neighbor one hop closer to dest is
+    // an equal-cost next hop.
+    for (size_t v = 0; v < n; ++v) {
+      if (dist[v] <= 0) {
+        continue;  // dest itself or unreachable
+      }
+      for (const auto& vp : node(static_cast<int>(v))->ports()) {
+        if (vp->peer() == nullptr) {
+          continue;
+        }
+        const size_t u = static_cast<size_t>(vp->peer()->id());
+        if (dist[u] != -1 && dist[u] == dist[v] - 1) {
+          toward[dest][v].push_back(vp.get());
+        }
+      }
+    }
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    auto* sw = dynamic_cast<Switch*>(node(static_cast<int>(v)));
+    if (sw == nullptr) {
+      continue;
+    }
+    std::vector<std::vector<Port*>> table(n);
+    for (size_t dest = 0; dest < n; ++dest) {
+      table[dest] = toward[dest][v];
+    }
+    sw->set_next_hops(std::move(table));
+  }
+}
+
+Port* Network::FindPort(Node* a, Node* b) {
+  for (const auto& p : a->ports()) {
+    if (p->peer() == b) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tfc

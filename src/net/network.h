@@ -1,0 +1,92 @@
+// Network: owns the scheduler, RNG, nodes, and links; computes routes.
+//
+// Typical construction:
+//   Network net(/*seed=*/42);
+//   Host* a = net.AddHost("a");
+//   Host* b = net.AddHost("b");
+//   Switch* s = net.AddSwitch("s");
+//   net.Link(a, s, kGbps, Microseconds(20));
+//   net.Link(s, b, kGbps, Microseconds(20));
+//   net.BuildRoutes();
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/host.h"
+#include "src/net/switch.h"
+#include "src/net/trace.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace tfc {
+
+inline constexpr uint64_t kGbps = 1'000'000'000ull;
+
+struct LinkOptions {
+  // Per-port buffer on switch-owned ports (paper testbed: 256 KB/port at
+  // 1 Gbps; large-scale simulation: 512 KB at 10 Gbps).
+  uint64_t switch_buffer_bytes = 256 * 1024;
+  // Host NICs get a deep buffer; they are never the experiment bottleneck.
+  uint64_t host_buffer_bytes = 8 * 1024 * 1024;
+  // ECN marking threshold applied to switch-owned ports only (0 = off).
+  uint64_t ecn_threshold_bytes = 0;
+};
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host* AddHost(std::string name);
+  Switch* AddSwitch(std::string name);
+
+  // Creates a full-duplex link (two cross-connected ports) between a and b.
+  // Returns the port owned by `a`; its peer_port() is owned by `b`.
+  Port* Link(Node* a, Node* b, uint64_t bps, TimeNs prop_delay,
+             const LinkOptions& opts = LinkOptions());
+
+  // Computes shortest-path next-hop tables for every switch (BFS per
+  // destination; ties broken by port insertion order, deterministic).
+  void BuildRoutes();
+
+  Scheduler& scheduler() { return scheduler_; }
+  Rng& rng() { return rng_; }
+
+  Node* node(int id) const { return nodes_.at(static_cast<size_t>(id)).get(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+  int AllocateFlowId() { return next_flow_id_++; }
+  uint64_t AllocatePacketUid() { return next_packet_uid_++; }
+
+  // Packet-level tracing: the tracer (not owned) sees every enqueue,
+  // transmit, drop, and delivery. Null disables tracing (the default).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+  void EmitTrace(TraceEventType type, const Packet& pkt, const Node* node,
+                 const Port* port) {
+    if (tracer_ != nullptr) {
+      tracer_->OnEvent(TraceEvent{scheduler_.now(), type, &pkt, node, port});
+    }
+  }
+
+  // Finds the port on `a` whose peer is `b` (first match); null if none.
+  static Port* FindPort(Node* a, Node* b);
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int next_flow_id_ = 1;
+  uint64_t next_packet_uid_ = 1;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_NET_NETWORK_H_

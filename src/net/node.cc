@@ -1,0 +1,16 @@
+#include "src/net/node.h"
+
+#include "src/net/network.h"
+
+namespace tfc {
+
+Node::Node(Network* network, int id, std::string name)
+    : network_(network), id_(id), name_(std::move(name)) {}
+
+Port* Node::AddPort() {
+  ports_.push_back(std::make_unique<Port>(&network_->scheduler(), this,
+                                          static_cast<int>(ports_.size())));
+  return ports_.back().get();
+}
+
+}  // namespace tfc

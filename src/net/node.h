@@ -1,0 +1,47 @@
+// Node base class: anything with ports that can receive packets.
+
+#ifndef SRC_NET_NODE_H_
+#define SRC_NET_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/net/port.h"
+
+namespace tfc {
+
+class Network;
+
+class Node {
+ public:
+  Node(Network* network, int id, std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Delivers a fully received packet. `ingress` is the port of *this* node
+  // whose peer sent the packet.
+  virtual void Receive(PacketPtr pkt, Port* ingress) = 0;
+
+  virtual bool is_host() const { return false; }
+
+  Port* AddPort();
+
+  Network* network() const { return network_; }
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::vector<std::unique_ptr<Port>>& ports() const { return ports_; }
+  Port* port(size_t i) const { return ports_.at(i).get(); }
+
+ protected:
+  Network* network_;
+  int id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_NET_NODE_H_

@@ -1,0 +1,86 @@
+#include "src/net/port.h"
+
+#include "src/net/network.h"
+#include "src/net/node.h"
+#include "src/sim/check.h"
+
+namespace tfc {
+
+Port::Port(Scheduler* scheduler, Node* owner, int index)
+    : scheduler_(scheduler), owner_(owner), index_(index) {}
+
+void Port::Connect(Port* peer_port, uint64_t bps, TimeNs prop_delay) {
+  TFC_CHECK(peer_port_ == nullptr);
+  TFC_CHECK(bps > 0);
+  peer_port_ = peer_port;
+  peer_node_ = peer_port->owner();
+  bps_ = bps;
+  prop_delay_ = prop_delay;
+}
+
+TimeNs Port::SerializationTime(uint32_t wire_bytes) const {
+  // bits * 1e9 / bps, computed in 128-bit to avoid overflow for large frames.
+  const unsigned __int128 bits = static_cast<unsigned __int128>(wire_bytes) * 8;
+  return static_cast<TimeNs>(bits * 1'000'000'000ull / bps_);
+}
+
+void Port::Enqueue(PacketPtr pkt) {
+  TFC_CHECK(peer_port_ != nullptr);
+  if (agent_ != nullptr) {
+    agent_->OnEgress(*pkt);
+  }
+  const uint32_t frame = pkt->frame_bytes();
+  if (queue_bytes_ + frame > buffer_limit_bytes_) {
+    ++drops_;
+    dropped_bytes_ += frame;
+    owner_->network()->EmitTrace(TraceEventType::kDrop, *pkt, owner_, this);
+    return;  // tail drop
+  }
+  // DCTCP-style instantaneous marking: mark when the queue the packet joins
+  // already exceeds the threshold.
+  if (ecn_threshold_bytes_ > 0 && pkt->ecn_capable && queue_bytes_ >= ecn_threshold_bytes_) {
+    pkt->ecn_ce = true;
+    ++ecn_marks_;
+  }
+  queue_bytes_ += frame;
+  if (queue_bytes_ > max_queue_bytes_) {
+    max_queue_bytes_ = queue_bytes_;
+  }
+  owner_->network()->EmitTrace(TraceEventType::kEnqueue, *pkt, owner_, this);
+  queue_.push_back(std::move(pkt));
+  TryTransmit();
+}
+
+void Port::TryTransmit() {
+  if (busy_ || queue_.empty()) {
+    return;
+  }
+  busy_ = true;
+  Packet& pkt = *queue_.front();
+  const TimeNs ser = SerializationTime(pkt.wire_bytes());
+  scheduler_->ScheduleAfter(ser, [this] { OnSerialized(); });
+}
+
+void Port::OnSerialized() {
+  TFC_CHECK(busy_ && !queue_.empty());
+  PacketPtr pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queue_bytes_ -= pkt->frame_bytes();
+  ++tx_packets_;
+  tx_bytes_ += pkt->frame_bytes();
+  busy_ = false;
+  owner_->network()->EmitTrace(TraceEventType::kTransmit, *pkt, owner_, this);
+
+  // Deliver to the peer after propagation. Capture the raw pointer pieces we
+  // need; the Network owns nodes for the whole simulation lifetime.
+  Node* peer = peer_node_;
+  Port* ingress = peer_port_;
+  Packet* raw = pkt.release();
+  scheduler_->ScheduleAfter(prop_delay_, [peer, ingress, raw] {
+    peer->Receive(PacketPtr(raw), ingress);
+  });
+
+  TryTransmit();
+}
+
+}  // namespace tfc

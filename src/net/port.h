@@ -1,0 +1,124 @@
+// Output port: drop-tail FIFO queue + attached simplex link.
+//
+// A full-duplex cable between two nodes is modelled as a pair of Ports, one
+// on each node, cross-connected. Each Port owns the transmit queue for its
+// direction; serialization occupies the port for wire_bytes*8/bps and the
+// packet is delivered to the peer node after an additional propagation
+// delay. Packets received *from* the peer are attributed to this Port as
+// their ingress, which is what lets per-port protocol agents (TFC) see both
+// the data direction (egress enqueue) and the matching reverse ACK stream.
+
+#ifndef SRC_NET_PORT_H_
+#define SRC_NET_PORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+
+class Node;
+class Port;
+
+// Hook interface for per-port protocol logic living inside a switch.
+// Implemented by the TFC switch module; the net layer knows only this shape.
+class PortAgent {
+ public:
+  virtual ~PortAgent() = default;
+
+  // Called for every packet at the moment it is enqueued on this (egress)
+  // port, before the drop decision. May rewrite header fields (e.g. stamp
+  // the TFC window into data packets) and account arrival traffic.
+  virtual void OnEgress(Packet& pkt) = 0;
+
+  // Called when the owning switch receives `pkt` from this port's peer
+  // (i.e. the reverse direction of this port's data path). Returning false
+  // transfers ownership of the packet to the agent, which must re-inject it
+  // later via Switch::Forward (TFC's ACK delay function). Returning true
+  // lets normal forwarding continue.
+  virtual bool OnReverse(PacketPtr& pkt) = 0;
+};
+
+class Port {
+ public:
+  Port(Scheduler* scheduler, Node* owner, int index);
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Wires this port to `peer_port`'s owner over a link with the given rate
+  // and one-way propagation delay. Called once by Network::Link.
+  void Connect(Port* peer_port, uint64_t bps, TimeNs prop_delay);
+
+  // Enqueues for transmission; drops (tail) if the buffer is full. Runs the
+  // agent egress hook and ECN marking first.
+  void Enqueue(PacketPtr pkt);
+
+  // --- configuration ---
+  void set_buffer_limit(uint64_t bytes) { buffer_limit_bytes_ = bytes; }
+  void set_ecn_threshold(uint64_t bytes) { ecn_threshold_bytes_ = bytes; }
+  void set_agent(std::unique_ptr<PortAgent> agent) { agent_ = std::move(agent); }
+
+  // --- accessors ---
+  Node* owner() const { return owner_; }
+  Node* peer() const { return peer_node_; }
+  Port* peer_port() const { return peer_port_; }
+  int index() const { return index_; }
+  uint64_t bps() const { return bps_; }
+  TimeNs prop_delay() const { return prop_delay_; }
+  PortAgent* agent() const { return agent_.get(); }
+  Scheduler* scheduler() const { return scheduler_; }
+
+  // Queue occupancy in frame bytes (excludes the packet being serialized).
+  uint64_t queue_bytes() const { return queue_bytes_; }
+  size_t queue_packets() const { return queue_.size(); }
+  uint64_t buffer_limit() const { return buffer_limit_bytes_; }
+
+  // --- statistics ---
+  uint64_t tx_packets() const { return tx_packets_; }
+  uint64_t tx_bytes() const { return tx_bytes_; }  // frame bytes
+  uint64_t drops() const { return drops_; }
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+  uint64_t max_queue_bytes() const { return max_queue_bytes_; }
+  uint64_t ecn_marks() const { return ecn_marks_; }
+  void ResetMaxQueue() { max_queue_bytes_ = queue_bytes_; }
+
+  // Serialization time of `wire_bytes` on this link.
+  TimeNs SerializationTime(uint32_t wire_bytes) const;
+
+ private:
+  void TryTransmit();
+  void OnSerialized();
+
+  Scheduler* scheduler_;
+  Node* owner_;
+  int index_;
+
+  Port* peer_port_ = nullptr;
+  Node* peer_node_ = nullptr;
+  uint64_t bps_ = 0;
+  TimeNs prop_delay_ = 0;
+
+  std::deque<PacketPtr> queue_;
+  uint64_t queue_bytes_ = 0;
+  uint64_t buffer_limit_bytes_ = 256 * 1024;
+  uint64_t ecn_threshold_bytes_ = 0;  // 0 = marking disabled
+  bool busy_ = false;
+
+  std::unique_ptr<PortAgent> agent_;
+
+  uint64_t tx_packets_ = 0;
+  uint64_t tx_bytes_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t dropped_bytes_ = 0;
+  uint64_t max_queue_bytes_ = 0;
+  uint64_t ecn_marks_ = 0;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_NET_PORT_H_

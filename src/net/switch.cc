@@ -1,0 +1,51 @@
+#include "src/net/switch.h"
+
+#include "src/net/network.h"
+
+namespace tfc {
+
+Switch::Switch(Network* network, int id, std::string name)
+    : Node(network, id, std::move(name)) {}
+
+void Switch::Receive(PacketPtr pkt, Port* ingress) {
+  // Give the ingress port's agent (the data-direction egress logic of that
+  // port) a chance to intercept reverse-path packets — TFC delays RMA ACKs
+  // whose carried window is below one MSS here.
+  if (ingress->agent() != nullptr) {
+    if (!ingress->agent()->OnReverse(pkt)) {
+      return;  // agent took ownership and will call Forward() later
+    }
+  }
+  Forward(std::move(pkt));
+}
+
+namespace {
+
+// Deterministic per-switch flow-id mix: without the switch-id salt every
+// tier would make the same choice for a flow and multi-stage topologies
+// would only ever use the "diagonal" paths (the classic ECMP hash
+// correlation problem; real switches salt their hash the same way).
+inline size_t EcmpIndex(int flow_id, int switch_id, size_t choices) {
+  uint64_t mixed = static_cast<uint64_t>(flow_id) * 0x9e3779b97f4a7c15ull;
+  mixed ^= static_cast<uint64_t>(switch_id) * 0xc2b2ae3d27d4eb4full;
+  mixed ^= mixed >> 29;
+  mixed *= 0xbf58476d1ce4e5b9ull;
+  return static_cast<size_t>((mixed >> 32) % choices);
+}
+
+}  // namespace
+
+void Switch::Forward(PacketPtr pkt) {
+  const size_t dest = static_cast<size_t>(pkt->dst);
+  if (dest >= next_hops_.size() || next_hops_[dest].empty()) {
+    ++unroutable_;
+    return;
+  }
+  const auto& choices = next_hops_[dest];
+  Port* out = choices.size() == 1
+                  ? choices.front()
+                  : choices[EcmpIndex(pkt->flow_id, id(), choices.size())];
+  out->Enqueue(std::move(pkt));
+}
+
+}  // namespace tfc

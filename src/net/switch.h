@@ -1,0 +1,47 @@
+// Output-queued store-and-forward switch with static shortest-path routing
+// and per-flow ECMP across equal-cost next hops.
+
+#ifndef SRC_NET_SWITCH_H_
+#define SRC_NET_SWITCH_H_
+
+#include <vector>
+
+#include "src/net/node.h"
+
+namespace tfc {
+
+class Switch : public Node {
+ public:
+  Switch(Network* network, int id, std::string name);
+
+  void Receive(PacketPtr pkt, Port* ingress) override;
+
+  // Routes and enqueues on the egress port, bypassing ingress agent hooks.
+  // Used both by Receive and by agents re-injecting delayed packets.
+  void Forward(PacketPtr pkt);
+
+  // Filled in by Network::BuildRoutes: next_hops_[dest_node_id] lists all
+  // equal-cost ports toward the destination. A flow hashes to one of them
+  // (per-flow ECMP: stable path per flow, no intra-flow reordering).
+  void set_next_hops(std::vector<std::vector<Port*>> table) {
+    next_hops_ = std::move(table);
+  }
+  // First (or only) next hop toward `dest`; null if unreachable.
+  Port* next_hop(int dest) const {
+    const auto& choices = next_hops_.at(static_cast<size_t>(dest));
+    return choices.empty() ? nullptr : choices.front();
+  }
+  const std::vector<Port*>& equal_cost_ports(int dest) const {
+    return next_hops_.at(static_cast<size_t>(dest));
+  }
+
+  uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  std::vector<std::vector<Port*>> next_hops_;
+  uint64_t unroutable_ = 0;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_NET_SWITCH_H_

@@ -1,0 +1,74 @@
+#include "src/net/trace.h"
+
+#include <iomanip>
+
+#include "src/net/node.h"
+#include "src/net/port.h"
+
+namespace tfc {
+
+namespace {
+
+char EventChar(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kEnqueue:
+      return '+';
+    case TraceEventType::kTransmit:
+      return '-';
+    case TraceEventType::kDrop:
+      return 'd';
+    case TraceEventType::kDeliver:
+      return 'r';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void TextTracer::OnEvent(const TraceEvent& event) {
+  const Packet& pkt = *event.packet;
+  if (flow_filter_ >= 0 && pkt.flow_id != flow_filter_) {
+    return;
+  }
+  std::ostream& out = *out_;
+  out << std::fixed << std::setprecision(6) << ToSeconds(event.time) << ' '
+      << EventChar(event.type) << ' ' << event.node->name();
+  if (event.port != nullptr) {
+    out << ":p" << event.port->index();
+  }
+  out << ' ' << PacketTypeName(pkt.type) << " f=" << pkt.flow_id << " seq=" << pkt.seq
+      << " len=" << pkt.payload;
+  if (pkt.rm) {
+    out << " rm";
+  }
+  if (pkt.rma) {
+    out << " rma w=" << pkt.window;
+  }
+  if (pkt.ecn_ce) {
+    out << " ce";
+  }
+  if (event.port != nullptr) {
+    out << " q=" << event.port->queue_bytes();
+  }
+  out << '\n';
+  ++events_written_;
+}
+
+void CountingTracer::OnEvent(const TraceEvent& event) {
+  switch (event.type) {
+    case TraceEventType::kEnqueue:
+      ++enqueues;
+      break;
+    case TraceEventType::kTransmit:
+      ++transmits;
+      break;
+    case TraceEventType::kDrop:
+      ++drops;
+      break;
+    case TraceEventType::kDeliver:
+      ++delivers;
+      break;
+  }
+}
+
+}  // namespace tfc

@@ -1,0 +1,119 @@
+#include "src/rcp/rcp.h"
+
+#include <algorithm>
+
+#include "src/net/network.h"
+#include "src/sim/check.h"
+
+namespace tfc {
+
+// ---------------------------------------------------------------------------
+// Switch side
+// ---------------------------------------------------------------------------
+
+RcpPortAgent::RcpPortAgent(Switch* owner, Port* port, const RcpSwitchConfig& config)
+    : port_(port),
+      config_(config),
+      scheduler_(port->scheduler()),
+      capacity_bps_(static_cast<double>(port->bps())),
+      rate_bps_(config.initial_rate_fraction * capacity_bps_),
+      dhat_(config.initial_dhat),
+      update_timer_(port->scheduler(), [this] { UpdateRate(); }) {
+  (void)owner;
+  last_update_ = scheduler_->now();
+  update_timer_.RestartAfter(dhat_);
+}
+
+RcpPortAgent* RcpPortAgent::FromPort(Port* port) {
+  return dynamic_cast<RcpPortAgent*>(port->agent());
+}
+
+void RcpPortAgent::OnEgress(Packet& pkt) {
+  arrived_bytes_ += pkt.wire_bytes();
+  if (!pkt.is_data()) {
+    return;
+  }
+  // Average the carried RTT hints into d-hat.
+  if (pkt.rtt_hint > 0) {
+    dhat_ = static_cast<TimeNs>((1.0 - config_.dhat_gain) * static_cast<double>(dhat_) +
+                                config_.dhat_gain * static_cast<double>(pkt.rtt_hint));
+  }
+  // Stamp the path-minimum fair rate.
+  const uint64_t rate = static_cast<uint64_t>(rate_bps_);
+  if (pkt.rate_bps == 0 || rate < pkt.rate_bps) {
+    pkt.rate_bps = rate;
+  }
+}
+
+void RcpPortAgent::UpdateRate() {
+  const TimeNs now = scheduler_->now();
+  const TimeNs interval = now - last_update_;
+  last_update_ = now;
+  if (interval > 0) {
+    const double y =
+        static_cast<double>(arrived_bytes_) * 8.0 / ToSeconds(interval);  // input bps
+    const double q_bits = static_cast<double>(port_->queue_bytes()) * 8.0;
+    const double dhat_s = ToSeconds(dhat_);
+    const double spare = config_.alpha * (capacity_bps_ - y) - config_.beta * q_bits / dhat_s;
+    const double gain = ToSeconds(interval) / dhat_s;
+    rate_bps_ = rate_bps_ * (1.0 + gain * spare / capacity_bps_);
+    rate_bps_ = std::clamp(rate_bps_, config_.min_rate_fraction * capacity_bps_,
+                           config_.max_rate_fraction * capacity_bps_);
+  }
+  arrived_bytes_ = 0;
+  update_timer_.RestartAfter(std::max<TimeNs>(dhat_, Microseconds(10)));
+}
+
+int InstallRcpSwitches(Network& network, const RcpSwitchConfig& config) {
+  int installed = 0;
+  for (const auto& node : network.nodes()) {
+    auto* sw = dynamic_cast<Switch*>(node.get());
+    if (sw == nullptr) {
+      continue;
+    }
+    for (const auto& port : sw->ports()) {
+      port->set_agent(std::make_unique<RcpPortAgent>(sw, port.get(), config));
+      ++installed;
+    }
+  }
+  return installed;
+}
+
+// ---------------------------------------------------------------------------
+// Host side
+// ---------------------------------------------------------------------------
+
+RcpSender::RcpSender(Network* network, Host* local, Host* remote, const RcpHostConfig& config)
+    : ReliableSender(network, local, remote, config.transport),
+      cwnd_(static_cast<double>(kMssBytes)) {
+  InitializeReceiver();
+}
+
+std::unique_ptr<ReliableReceiver> RcpSender::MakeReceiver() {
+  return std::make_unique<RcpReceiver>(network(), remote(), flow_id(),
+                                       transport_config().receive_window,
+                                       transport_config().ack_every,
+                                       transport_config().delayed_ack_timeout);
+}
+
+bool RcpSender::CanSendMore(uint64_t inflight_payload) const {
+  return static_cast<double>(inflight_payload) < cwnd_;
+}
+
+void RcpSender::OnAckHeader(const Packet& ack) {
+  if (ack.rate_bps == 0) {
+    return;
+  }
+  rate_bps_ = static_cast<double>(ack.rate_bps);
+  // Rate-to-window translation: R * RTT of payload in flight.
+  const TimeNs rtt = srtt() > 0 ? srtt() : Milliseconds(1);
+  cwnd_ = std::max(rate_bps_ * ToSeconds(rtt) / 8.0, static_cast<double>(kMssBytes));
+}
+
+void RcpSender::DecorateData(Packet& pkt, bool retransmission) {
+  (void)retransmission;
+  pkt.rtt_hint = srtt();
+  pkt.rate_bps = 0;  // filled by the first RCP router on the path
+}
+
+}  // namespace tfc

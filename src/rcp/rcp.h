@@ -1,0 +1,109 @@
+// RCP — Rate Control Protocol (Dukkipati et al., "Processor Sharing Flows
+// in the Internet", IWQoS 2005). One of the explicit protocols the TFC
+// paper positions itself against (Sec. 7): routers compute a single fair
+// rate per link from aggregate measurements and stamp it into packets, so
+// no per-flow state is needed — but the rate evolves through a control
+// loop over many control intervals, which is why RCP converges slowly
+// compared to TFC's one-slot allocation, and why flow joins eat buffer.
+//
+// Router update (per control interval T ~= d-hat, the average RTT):
+//     R <- R * (1 + (T/d-hat) * (alpha*(C - y) - beta*q/d-hat) / C)
+// where y is the measured input rate and q the queue. Senders translate
+// the stamped rate into a window R * rtt (rate-based window emulation).
+
+#ifndef SRC_RCP_RCP_H_
+#define SRC_RCP_RCP_H_
+
+#include <memory>
+
+#include "src/net/port.h"
+#include "src/net/switch.h"
+#include "src/sim/timer.h"
+#include "src/transport/reliable_sender.h"
+
+namespace tfc {
+
+struct RcpSwitchConfig {
+  double alpha = 0.4;
+  double beta = 0.226;
+  // Initial fair-rate guess as a fraction of the link (RCP typically starts
+  // at C/N0 for an operator-chosen N0; we start at a modest fraction).
+  double initial_rate_fraction = 0.05;
+  // Bounds on the advertised rate.
+  double min_rate_fraction = 0.001;
+  double max_rate_fraction = 1.0;
+  // Fallback control interval / d-hat before any RTT hints arrive.
+  TimeNs initial_dhat = Microseconds(160);
+  // EWMA gain for averaging the RTT hints into d-hat.
+  double dhat_gain = 0.02;
+};
+
+// Per-egress-port RCP logic.
+class RcpPortAgent : public PortAgent {
+ public:
+  RcpPortAgent(Switch* owner, Port* port, const RcpSwitchConfig& config);
+
+  void OnEgress(Packet& pkt) override;
+  bool OnReverse(PacketPtr& pkt) override {
+    (void)pkt;
+    return true;
+  }
+
+  double fair_rate_bps() const { return rate_bps_; }
+  TimeNs dhat() const { return dhat_; }
+
+  static RcpPortAgent* FromPort(Port* port);
+
+ private:
+  void UpdateRate();
+
+  Port* port_;
+  RcpSwitchConfig config_;
+  Scheduler* scheduler_;
+  double capacity_bps_;
+  double rate_bps_;
+  TimeNs dhat_;
+  uint64_t arrived_bytes_ = 0;
+  TimeNs last_update_ = 0;
+  Timer update_timer_;
+};
+
+// Attaches RCP agents to all switch ports. Returns the number installed.
+int InstallRcpSwitches(Network& network, const RcpSwitchConfig& config = RcpSwitchConfig());
+
+struct RcpHostConfig {
+  TransportConfig transport;
+};
+
+class RcpReceiver : public ReliableReceiver {
+ public:
+  using ReliableReceiver::ReliableReceiver;
+
+ protected:
+  void DecorateAck(const Packet& data, Packet& ack) override {
+    ReliableReceiver::DecorateAck(data, ack);
+    ack.rate_bps = data.rate_bps;  // echo the path-min fair rate
+  }
+};
+
+class RcpSender : public ReliableSender {
+ public:
+  RcpSender(Network* network, Host* local, Host* remote, const RcpHostConfig& config);
+
+  double rate_bps() const { return rate_bps_; }
+  double cwnd_bytes() const { return cwnd_; }
+
+ protected:
+  bool CanSendMore(uint64_t inflight_payload) const override;
+  void OnAckHeader(const Packet& ack) override;
+  void DecorateData(Packet& pkt, bool retransmission) override;
+  std::unique_ptr<ReliableReceiver> MakeReceiver() override;
+
+ private:
+  double rate_bps_ = 0.0;
+  double cwnd_;  // payload bytes = rate * rtt
+};
+
+}  // namespace tfc
+
+#endif  // SRC_RCP_RCP_H_

@@ -1,0 +1,36 @@
+// Lightweight invariant checking for the simulator.
+//
+// TFC_CHECK is always on (simulation correctness depends on these holding);
+// TFC_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+
+#ifndef SRC_SIM_CHECK_H_
+#define SRC_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfc {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace tfc
+
+#define TFC_CHECK(cond)                               \
+  do {                                                \
+    if (!(cond)) {                                    \
+      ::tfc::CheckFailed(#cond, __FILE__, __LINE__);  \
+    }                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define TFC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define TFC_DCHECK(cond) TFC_CHECK(cond)
+#endif
+
+#endif  // SRC_SIM_CHECK_H_

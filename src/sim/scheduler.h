@@ -1,0 +1,147 @@
+// Discrete-event scheduler.
+//
+// The scheduler is the heart of the simulator: every link transmission,
+// timer expiry, application arrival, and sampler tick is an event. Events
+// with equal timestamps fire in insertion order (FIFO tie-break on a
+// monotonically increasing sequence number), which makes simulations fully
+// deterministic for a fixed seed.
+
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  // Handle for a scheduled event; can be used to cancel it before it fires.
+  // A default-constructed EventId is invalid and safe to Cancel (no-op).
+  struct EventId {
+    uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventId ScheduleAt(TimeNs t, Callback cb) {
+    TFC_CHECK(t >= now_);
+    uint64_t seq = ++next_seq_;
+    heap_.push(Entry{t, seq, std::move(cb)});
+    ++live_;
+    return EventId{seq};
+  }
+
+  // Schedules `cb` to run `delay` nanoseconds from now (delay >= 0).
+  EventId ScheduleAfter(TimeNs delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  // Cancelling an already-fired, already-cancelled, or invalid id is a no-op.
+  bool Cancel(EventId id) {
+    if (!id.valid() || id.seq > next_seq_) {
+      return false;
+    }
+    bool inserted = cancelled_.insert(id.seq).second;
+    if (inserted) {
+      --live_;
+      return true;
+    }
+    return false;
+  }
+
+  // Number of pending (non-cancelled) events.
+  size_t pending() const { return live_; }
+
+  // Total number of events executed so far.
+  uint64_t executed() const { return executed_; }
+
+  // Runs until the event queue drains or Stop() is called.
+  void Run() {
+    stopped_ = false;
+    while (!stopped_ && PopAndRunOne(/*limit=*/INT64_MAX)) {
+    }
+  }
+
+  // Runs all events with timestamp <= t, then advances the clock to t.
+  void RunUntil(TimeNs t) {
+    TFC_CHECK(t >= now_);
+    stopped_ = false;
+    while (!stopped_ && PopAndRunOne(t)) {
+    }
+    if (!stopped_ && now_ < t) {
+      now_ = t;
+    }
+  }
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the earliest event if its time is <= limit.
+  // Returns false when there is nothing (eligible) left.
+  bool PopAndRunOne(TimeNs limit) {
+    while (!heap_.empty()) {
+      const Entry& top = heap_.top();
+      if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        heap_.pop();
+        continue;
+      }
+      if (top.time > limit) {
+        return false;
+      }
+      // Move the callback out before popping so the entry can be released.
+      Entry entry = std::move(const_cast<Entry&>(top));
+      heap_.pop();
+      --live_;
+      TFC_DCHECK(entry.time >= now_);
+      now_ = entry.time;
+      ++executed_;
+      entry.cb();
+      return true;
+    }
+    return false;
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  size_t live_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_SIM_SCHEDULER_H_

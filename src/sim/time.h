@@ -1,0 +1,40 @@
+// Simulation time representation.
+//
+// All simulation timestamps and durations are signed 64-bit nanosecond
+// counts. Nanosecond granularity is fine enough to represent serialization
+// of a minimum-size Ethernet frame at 100 Gbps (~6.7 ns) and coarse enough
+// that an int64_t covers ~292 years of simulated time.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace tfc {
+
+// A point in simulated time, or a duration, in nanoseconds.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+// Convenience constructors for readable call sites.
+constexpr TimeNs Nanoseconds(int64_t n) { return n; }
+constexpr TimeNs Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr TimeNs Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr TimeNs Seconds(double s) { return static_cast<TimeNs>(s * static_cast<double>(kSecond)); }
+
+// Conversions to floating-point seconds, for statistics and printing.
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+constexpr double ToMicroseconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+constexpr double ToMilliseconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace tfc
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,95 @@
+// One-shot restartable timer built on the scheduler.
+//
+// Used for retransmission timeouts, delayed actions, and periodic samplers.
+// The timer owns its pending event: destroying or restarting it cancels any
+// outstanding expiry, so callbacks never fire on dead objects as long as the
+// Timer member outlives the scheduler run (the usual composition is a Timer
+// field inside the object whose method it calls).
+
+#ifndef SRC_SIM_TIMER_H_
+#define SRC_SIM_TIMER_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Scheduler* scheduler, Callback cb)
+      : scheduler_(scheduler), cb_(std::move(cb)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { Cancel(); }
+
+  // (Re)arms the timer to fire `delay` from now. Cancels any pending expiry.
+  void RestartAfter(TimeNs delay) {
+    Cancel();
+    expiry_ = scheduler_->now() + delay;
+    id_ = scheduler_->ScheduleAt(expiry_, [this] {
+      id_ = {};
+      cb_();
+    });
+  }
+
+  void Cancel() {
+    if (id_.valid()) {
+      scheduler_->Cancel(id_);
+      id_ = {};
+    }
+  }
+
+  bool pending() const { return id_.valid(); }
+
+  // Absolute expiry time of the last arming (meaningful while pending()).
+  TimeNs expiry() const { return expiry_; }
+
+ private:
+  Scheduler* scheduler_;
+  Callback cb_;
+  Scheduler::EventId id_;
+  TimeNs expiry_ = 0;
+};
+
+// Fixed-interval periodic callback (samplers, application ticks).
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTimer(Scheduler* scheduler, Callback cb)
+      : scheduler_(scheduler), cb_(std::move(cb)), timer_(scheduler, [this] { Fire(); }) {}
+
+  // Starts ticking every `interval`, first tick at now + interval
+  // (or now + first_delay when given).
+  void Start(TimeNs interval) { Start(interval, interval); }
+  void Start(TimeNs interval, TimeNs first_delay) {
+    interval_ = interval;
+    timer_.RestartAfter(first_delay);
+  }
+
+  void Stop() { timer_.Cancel(); }
+  bool running() const { return timer_.pending(); }
+  Scheduler* scheduler() const { return scheduler_; }
+
+ private:
+  void Fire() {
+    cb_();
+    timer_.RestartAfter(interval_);
+  }
+
+  Scheduler* scheduler_;
+  Callback cb_;
+  Timer timer_;
+  TimeNs interval_ = 0;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_SIM_TIMER_H_

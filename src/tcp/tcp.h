@@ -1,0 +1,51 @@
+// TCP NewReno sender (the paper's "TCP" baseline).
+//
+// Slow start / congestion avoidance on a byte-granularity cwnd, fast
+// retransmit + NewReno recovery with window inflation, multiplicative
+// backoff on RTO. Loss-driven only; ECN bits are ignored.
+
+#ifndef SRC_TCP_TCP_H_
+#define SRC_TCP_TCP_H_
+
+#include "src/transport/reliable_sender.h"
+
+namespace tfc {
+
+struct TcpConfig {
+  TransportConfig transport;
+  double initial_cwnd_segments = 3.0;  // Linux 2.6.38-era IW
+  double min_cwnd_segments = 1.0;
+};
+
+class TcpSender : public ReliableSender {
+ public:
+  TcpSender(Network* network, Host* local, Host* remote, const TcpConfig& config);
+
+  double cwnd_bytes() const { return cwnd_; }
+  double ssthresh_bytes() const { return ssthresh_; }
+
+ protected:
+  bool CanSendMore(uint64_t inflight_payload) const override;
+  void OnAckedData(const Packet& ack, uint64_t newly_acked) override;
+  void OnDuplicateAck() override;
+  void OnEnterRecovery(uint64_t flight_size) override;
+  void OnPartialAck(uint64_t newly_acked) override;
+  void OnExitRecovery() override;
+  void OnRetransmitTimeout() override;
+
+  // Additive/multiplicative pieces exposed so DCTCP can reuse them.
+  void GrowWindow(uint64_t newly_acked);
+  double mss() const { return static_cast<double>(transport_config().mss); }
+  double min_cwnd() const { return config_.min_cwnd_segments * mss(); }
+  void set_cwnd(double cwnd) { cwnd_ = std::max(cwnd, min_cwnd()); }
+  void set_ssthresh(double v) { ssthresh_ = v; }
+
+ private:
+  TcpConfig config_;
+  double cwnd_;
+  double ssthresh_;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_TCP_TCP_H_

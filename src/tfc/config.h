@@ -1,0 +1,105 @@
+// TFC configuration knobs — switch side and host side.
+
+#ifndef SRC_TFC_CONFIG_H_
+#define SRC_TFC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+#include "src/transport/reliable_sender.h"
+
+namespace tfc {
+
+// How the switch estimates the number of consumers per slot.
+enum class FlowCountMode {
+  // Paper's mechanism (Sec. 4.2): count round-marked packets per slot.
+  // Stateless, self-correcting, excludes silent flows.
+  kRoundMarks,
+  // The strawman the paper rejects (D3-style): a persistent counter bumped
+  // on SYN and decremented on FIN. Retransmitted handshakes accumulate
+  // error and silent flows keep consuming allocation. Provided for the
+  // comparison bench/tests.
+  kSynFin,
+};
+
+// Per-port switch parameters (paper Sec. 4–5; defaults from Sec. 6.1.1).
+struct TfcSwitchConfig {
+  FlowCountMode flow_count_mode = FlowCountMode::kRoundMarks;
+
+  // Target link utilization ρ0 used by the token adjustment (Eq. 7).
+  double rho0 = 0.97;
+  // Disable to ablate the Sec. 4.5 token adjustment: T = c·rtt_b with no
+  // ρ0/ρ scaling (the work-conserving benches show what this costs).
+  bool enable_token_adjustment = true;
+  // Weight of the history token value in the EWMA (Eq. 8, paper: α = 7/8).
+  double history_weight = 7.0 / 8.0;
+  // Initial rtt_b before any measurement (paper Sec. 5.2: 160 µs).
+  TimeNs initial_rttb = Microseconds(160);
+
+  // --- engineering bounds the paper leaves implicit ---
+  // Floor on the measured utilization ρ, so the Eq. 7 boost T·ρ0/ρ cannot
+  // diverge during a near-idle slot.
+  double rho_floor = 0.05;
+  // Cap on the token value, as a multiple of c·rtt_b (one BDP). Bounds the
+  // work-conserving boost while still allowing multi-bottleneck recovery.
+  double token_boost_cap = 4.0;
+
+  // --- RTT measurement ---
+  // Only delimiter round-marks whose frame is at least this long update
+  // rtt_b (Sec. 4.4: store-and-forward time differs with packet size).
+  uint32_t rtt_measure_min_frame = 1500;
+  // Re-elect the delimiter after 2^k·rtt_last of silence, k <= this
+  // (Sec. 5.2: maximum k is 7).
+  int max_miss_exponent = 7;
+  // rtt_b is a running minimum (paper-faithful with 0 = no aging, the
+  // default). Setting this positive takes the minimum over two rotating
+  // epochs of this many slots instead: the estimate can then recover from an
+  // anomalously short sample, at the cost of slowly absorbing any standing
+  // queue into rtt_b (which weakens the zero-queue property — see the
+  // fig14_rho0 bench, which only tracks ρ0 with the pure min).
+  uint64_t rttb_epoch_slots = 0;
+
+  // --- delay function for sub-MSS windows (Sec. 4.6) ---
+  bool enable_delay_function = true;
+  // Release quantum: one full-size frame.
+  uint32_t delay_quantum = kMtuFrameBytes;
+  // Counter cap, in quanta, bounding the burst of simultaneously released
+  // sub-MSS flows.
+  double counter_cap_quanta = 2.0;
+  // Fail-open bound on the number of parked ACKs.
+  size_t delay_queue_limit = 1 << 16;
+};
+
+// Host-side parameters.
+struct TfcHostConfig {
+  TransportConfig transport;
+
+  // After this much idle time a resuming flow re-runs the window-acquisition
+  // probe instead of bursting its stale window. Without this, barrier-
+  // synchronized workloads (incast rounds) hoard one-MSS grants while idle
+  // and fire them simultaneously — n frames hitting one port at once, which
+  // overflows the buffer for n in the hundreds. The paper's window
+  // acquisition phase covers flow *start*; this extends it to flow *resume*
+  // (its Sec. 2 motivates exactly this silent-flow case). Set false for the
+  // strictly paper-described behaviour.
+  bool resume_probe = true;
+  TimeNs resume_idle_threshold = Microseconds(300);
+
+  // Weighted-allocation extension (paper Sec. 4.1): this flow counts as
+  // `weight` consumers at every switch and scales the granted per-unit
+  // window accordingly, so its bandwidth share is weight-proportional.
+  // 1 = the paper's equal-share policy.
+  uint8_t weight = 1;
+
+  TfcHostConfig() {
+    // TFC reacts through switch feedback, not timeouts; the RTO is only a
+    // safety net, so the Linux default minimum is kept.
+    transport.rto_min = Milliseconds(200);
+  }
+};
+
+}  // namespace tfc
+
+#endif  // SRC_TFC_CONFIG_H_

@@ -1,0 +1,138 @@
+#include "src/tfc/endpoints.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/net/network.h"
+
+namespace tfc {
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+void TfcReceiver::DecorateAck(const Packet& data, Packet& ack) {
+  ReliableReceiver::DecorateAck(data, ack);
+  // Only data-packet round marks carry a switch allocation. A marked SYN is
+  // counted by switches but not stamped (the flow takes its window with the
+  // acquisition probe instead), so the SYNACK must not echo a window.
+  if (data.rm && data.type == PacketType::kData) {
+    // Echo the minimum window stamped along the path, bounded by our own
+    // advertised window (Sec. 5.3).
+    ack.rma = true;
+    ack.window = static_cast<uint32_t>(
+        std::min<uint64_t>(data.window, advertised_window()));
+  } else {
+    // The window field of non-RMA ACKs carries no allocation.
+    ack.window = kWindowInfinite;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+TfcSender::TfcSender(Network* network, Host* local, Host* remote, const TfcHostConfig& config)
+    : ReliableSender(network, local, remote, config.transport), config_(config) {
+  InitializeReceiver();
+}
+
+std::unique_ptr<ReliableReceiver> TfcSender::MakeReceiver() {
+  return std::make_unique<TfcReceiver>(network(), remote(), flow_id(),
+                                       transport_config().receive_window,
+                                       transport_config().ack_every,
+                                       transport_config().delayed_ack_timeout);
+}
+
+uint64_t TfcSender::FrameBytesInFlight(uint64_t inflight_payload) const {
+  const uint32_t mss = transport_config().mss;
+  const uint64_t packets = (inflight_payload + mss - 1) / mss;
+  return inflight_payload + packets * kHeaderBytes;
+}
+
+bool TfcSender::CanSendMore(uint64_t inflight_payload) const {
+  if (!have_window_) {
+    return false;  // window-acquisition phase: hold data until the RMA
+  }
+  const uint64_t frames = FrameBytesInFlight(inflight_payload);
+  return static_cast<double>(frames) < cwnd_frames_;
+}
+
+void TfcSender::SendProbe() {
+  // Zero-payload RM data packet; switches stamp their window into it and the
+  // receiver's RMA brings the allocation back (Sec. 4.6).
+  PacketPtr pkt = MakePacket(PacketType::kData);
+  pkt->seq = acked_bytes();
+  pkt->payload = 0;
+  pkt->rm = true;
+  pkt->weight = config_.weight;
+  pkt->ts = network()->scheduler().now();
+  ++probes_sent_;
+  SendPacket(std::move(pkt));
+  RestartRtoTimer();
+}
+
+void TfcSender::OnEstablished() {
+  awaiting_probe_rma_ = true;
+  SendProbe();
+}
+
+void TfcSender::OnWrite() {
+  const TimeNs now = network()->scheduler().now();
+  if (config_.resume_probe && state() == State::kEstablished && inflight_bytes() == 0 &&
+      have_window_ && now - last_activity_ > config_.resume_idle_threshold) {
+    // Resuming after a long silence: the cached window is stale (other flows
+    // have absorbed the bandwidth), so re-acquire before bursting.
+    have_window_ = false;
+    awaiting_probe_rma_ = true;
+    SendProbe();
+  }
+  last_activity_ = now;
+}
+
+void TfcSender::OnAckHeader(const Packet& ack) {
+  last_activity_ = network()->scheduler().now();
+  if (!ack.rma || ack.window == kWindowInfinite) {
+    return;
+  }
+  // The granted window is per allocation unit; a weighted flow holds
+  // `weight` units. The delay arbiter guarantees at least one MSS-sized
+  // frame; floor at *this sender's* full frame so it can always keep one
+  // packet in flight — with jumbo frames the arbiter quantum (configured
+  // per switch) may be smaller than one of our packets, and flooring at
+  // the default MTU would deadlock the flow.
+  const double full_frame = static_cast<double>(transport_config().mss + kHeaderBytes);
+  cwnd_frames_ =
+      std::max(static_cast<double>(ack.window) * config_.weight, full_frame);
+  have_window_ = true;
+  awaiting_probe_rma_ = false;
+  // Per Sec. 5.1: after receiving an RMA, mark the next outgoing data packet.
+  pending_rm_ = true;
+  SendAvailable();
+}
+
+void TfcSender::DecorateData(Packet& pkt, bool retransmission) {
+  (void)retransmission;
+  pkt.weight = config_.weight;
+  if (pending_rm_) {
+    pkt.rm = true;
+    pending_rm_ = false;
+  }
+  last_activity_ = network()->scheduler().now();
+}
+
+void TfcSender::OnRetransmitTimeout() {
+  // Restart the round: the RM (or its RMA) may have been lost, and without a
+  // new RM the switch would stop counting this flow.
+  pending_rm_ = true;
+}
+
+bool TfcSender::OnIdleTimeout() {
+  if (awaiting_probe_rma_) {
+    SendProbe();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tfc

@@ -1,0 +1,321 @@
+#include "src/tfc/switch_port.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/net/network.h"
+#include "src/sim/check.h"
+
+namespace tfc {
+
+TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& config)
+    : switch_(owner),
+      port_(port),
+      config_(config),
+      scheduler_(port->scheduler()),
+      bytes_per_ns_(static_cast<double>(port->bps()) / 8.0 / 1e9),
+      rttb_(config.initial_rttb),
+      rttb_epoch_min_(config.initial_rttb),
+      rttb_prev_epoch_min_(config.initial_rttb),
+      failover_timer_(scheduler_, [this] { OnFailoverTimer(); }),
+      token_bytes_(bdp_bytes()),
+      counter_bytes_(config.counter_cap_quanta * config.delay_quantum),
+      release_timer_(scheduler_, [this] { ReleaseParkedAcks(); }) {
+  TFC_CHECK(port->bps() > 0);
+  TFC_CHECK(config.rho0 > 0.0 && config.rho0 <= 1.0);
+  TFC_CHECK(config.history_weight >= 0.0 && config.history_weight < 1.0);
+}
+
+double TfcPortAgent::bdp_bytes() const {
+  return bytes_per_ns_ * static_cast<double>(rttb_);
+}
+
+TfcPortAgent* TfcPortAgent::FromPort(Port* port) {
+  return dynamic_cast<TfcPortAgent*>(port->agent());
+}
+
+// ---------------------------------------------------------------------------
+// Data path (egress direction): arrival accounting, slot machinery, stamping.
+// ---------------------------------------------------------------------------
+
+void TfcPortAgent::OnEgress(Packet& pkt) {
+  arrived_wire_bytes_ += pkt.wire_bytes();
+  if (!pkt.is_data()) {
+    return;
+  }
+
+  // Strawman flow counting (D3-style): track connection handshakes. A
+  // retransmitted SYN is indistinguishable from a new flow, so the counter
+  // accumulates error — the failure mode the paper's Sec. 4.2 describes.
+  if (config_.flow_count_mode == FlowCountMode::kSynFin) {
+    if (pkt.type == PacketType::kSyn) {
+      ++synfin_count_;
+    } else if (pkt.type == PacketType::kFin && synfin_count_ > 1) {
+      --synfin_count_;
+    }
+  }
+
+  // A FIN of the delimiter flow means its round marks will never return:
+  // elect the next RM packet as the new delimiter (Sec. 5.2).
+  if (pkt.type == PacketType::kFin && pkt.flow_id == delimiter_flow_) {
+    delimiter_closed_ = true;
+    want_new_delimiter_ = true;
+  }
+
+  if (pkt.rm) {
+    if (pkt.flow_id == delimiter_flow_ && !delimiter_closed_) {
+      EndSlot(pkt);
+    } else if (delimiter_flow_ < 0 || want_new_delimiter_) {
+      AdoptDelimiter(pkt);
+    } else {
+      E_ += std::max<int>(1, pkt.weight);
+    }
+  }
+
+  if (pkt.type == PacketType::kData) {
+    StampWindow(pkt);
+  }
+}
+
+void TfcPortAgent::StampWindow(Packet& pkt) const {
+  // Until the first slot completes *and* rtt_b has actually been measured,
+  // this port has no trustworthy allocation: the configured initial rtt_b
+  // may overestimate the real RTT by an order of magnitude (e.g. 160 us
+  // initial vs ~10 us at 40 Gbps), and windows computed from it would burst
+  // several BDPs into the buffer. Hand out just under one frame instead —
+  // staying below the delay-arbiter quantum also means a crowd of flows
+  // starting together has its very first grants paced by the arbiter rather
+  // than all firing one frame into an empty port at once.
+  const uint32_t w = (have_window_ && rttb_measured_)
+                         ? static_cast<uint32_t>(std::max(1.0, std::floor(window_bytes_)))
+                         : config_.delay_quantum - 1;
+  pkt.window = std::min(pkt.window, w);
+}
+
+void TfcPortAgent::AdoptDelimiter(const Packet& pkt) {
+  if (pkt.flow_id != delimiter_flow_) {
+    // rtt_b is the minimum RTT *of the delimiter flow* (Sec. 4.4): tokens
+    // use rtt_b and the slot length uses rtt_m of the same flow, so their
+    // ratio is ~1 regardless of which flow is chosen. Carrying a previous
+    // (shorter-RTT) delimiter's minimum over would permanently undersize
+    // the token value relative to the new delimiter's slots. Seed the new
+    // minimum from the last measured slot RTT — the right magnitude for
+    // this port (unlike the configured initial) and an overestimate that
+    // the new delimiter's own samples min-correct within a round or two.
+    const TimeNs seed = rttm_last_ > 0 ? rttm_last_ : config_.initial_rttb;
+    rttb_ = seed;
+    rttb_epoch_min_ = seed;
+    rttb_prev_epoch_min_ = seed;
+    rttb_epoch_count_ = 0;
+  }
+  delimiter_flow_ = pkt.flow_id;
+  delimiter_closed_ = false;
+  want_new_delimiter_ = false;
+  // Deliberately keep miss_k_: it only resets on a *successful* slot
+  // (EndSlot). If the port's true RTT has inflated past 2^k·rtt_last, each
+  // adopted delimiter would otherwise be deposed before completing a slot
+  // and the window would never update; the exponential backoff must span
+  // adoptions to break that cycle.
+  slot_start_ = scheduler_->now();
+  slot_start_queue_bytes_ = port_->queue_bytes();
+  E_ = std::max<int>(1, pkt.weight);  // the adopting RM starts the slot
+  arrived_wire_bytes_ = pkt.wire_bytes();
+  ArmFailover();
+}
+
+void TfcPortAgent::EndSlot(const Packet& pkt) {
+  const TimeNs now = scheduler_->now();
+  const TimeNs rtt_m = now - slot_start_;
+  if (rtt_m <= 0) {
+    return;  // degenerate zero-length slot; keep accumulating
+  }
+
+  // rtt_b only learns from full-size frames (Sec. 4.4): store-and-forward
+  // latency depends on frame length, so small probes would bias it low.
+  // The slot interval includes the time the slot-opening RM spent in *this*
+  // port's queue — a queueing component the switch can observe directly and
+  // subtract, rather than relying on the min alone to catch an empty-queue
+  // round. Without this correction a standing queue feeds itself: rtt_b
+  // absorbs the queueing delay, which inflates the token value, which
+  // sustains the queue (remote hops' queueing is still handled by the min).
+  if (pkt.frame_bytes() >= config_.rtt_measure_min_frame) {
+    const TimeNs local_wait =
+        static_cast<TimeNs>(static_cast<double>(slot_start_queue_bytes_) / bytes_per_ns_);
+    const TimeNs candidate = std::max(rtt_m - local_wait, rtt_m / 8);
+    rttb_measured_ = true;
+    rttb_epoch_min_ = std::min(rttb_epoch_min_, candidate);
+    if (config_.rttb_epoch_slots > 0 &&
+        ++rttb_epoch_count_ >= config_.rttb_epoch_slots) {
+      // Rotate: forget samples older than two epochs.
+      rttb_prev_epoch_min_ = rttb_epoch_min_;
+      rttb_epoch_min_ = candidate;
+      rttb_epoch_count_ = 0;
+    }
+    rttb_ = std::min(rttb_epoch_min_, rttb_prev_epoch_min_);
+  }
+
+  // The RM ending this slot belongs to the next one; account it there.
+  const uint64_t slot_bytes = arrived_wire_bytes_ - pkt.wire_bytes();
+
+  // ρ[n] = A[n] / (c · rtt_m[n])  — Sec. 4.5.
+  const double capacity_bytes = bytes_per_ns_ * static_cast<double>(rtt_m);
+  double rho = static_cast<double>(slot_bytes) / capacity_bytes;
+  rho = std::max(rho, config_.rho_floor);
+
+  // Token adjustment (Eq. 7) with engineering clamps, then EWMA (Eq. 8).
+  const double bdp = bdp_bytes();
+  double target = config_.enable_token_adjustment ? bdp * config_.rho0 / rho : bdp;
+  target = std::clamp(target, static_cast<double>(config_.delay_quantum),
+                      config_.token_boost_cap * bdp);
+  token_bytes_ =
+      config_.history_weight * token_bytes_ + (1.0 - config_.history_weight) * target;
+  token_bytes_ = std::clamp(token_bytes_, static_cast<double>(config_.delay_quantum),
+                            config_.token_boost_cap * bdp);
+
+  // W[n+1] = T[n] / E[n]  (Eq. 5).
+  const int effective = config_.flow_count_mode == FlowCountMode::kSynFin
+                            ? std::max(1, synfin_count_)
+                            : E_;
+  window_bytes_ = token_bytes_ / static_cast<double>(effective);
+  have_window_ = true;
+  last_E_ = effective;
+  rttm_last_ = rtt_m;
+  ++slots_completed_;
+
+  if (on_slot) {
+    on_slot(SlotInfo{now, rtt_m, rttb_, E_, rho, token_bytes_, window_bytes_});
+  }
+
+  // Start the next slot; this RM counts as its first effective flow(s).
+  E_ = std::max<int>(1, pkt.weight);
+  arrived_wire_bytes_ = pkt.wire_bytes();
+  slot_start_ = now;
+  slot_start_queue_bytes_ = port_->queue_bytes();
+  miss_k_ = 0;
+  ArmFailover();
+}
+
+void TfcPortAgent::ArmFailover() {
+  TimeNs base = rttm_last_ > 0 ? rttm_last_ : config_.initial_rttb;
+  // In the sub-MSS regime a flow's round is paced by the delay arbiter, not
+  // its RTT: one grant per flow per E-grant cycle at ~rho0*c. Deposing the
+  // delimiter on an RTT timescale would churn it every round (and each
+  // churn re-seeds rtt_b from a load-inflated sample), so size the deadline
+  // to the grant cycle instead.
+  if (have_window_ && window_bytes_ < config_.delay_quantum && last_E_ > 0) {
+    const double cycle_ns = static_cast<double>(last_E_) * config_.delay_quantum /
+                            (config_.rho0 * bytes_per_ns_);
+    base = std::max(base, static_cast<TimeNs>(cycle_ns));
+  }
+  const int k = std::min(miss_k_, config_.max_miss_exponent);
+  failover_timer_.RestartAfter(base * (TimeNs{1} << (k + 1)));
+}
+
+void TfcPortAgent::OnFailoverTimer() {
+  // The delimiter flow went silent: catch another RM packet as the new
+  // delimiter. Back off exponentially while the port stays idle.
+  want_new_delimiter_ = true;
+  ++miss_k_;
+  if (miss_k_ <= config_.max_miss_exponent) {
+    ArmFailover();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reverse path: the delay arbiter for windows below one MSS (Sec. 4.6).
+// ---------------------------------------------------------------------------
+
+void TfcPortAgent::RefillCounter() {
+  const TimeNs now = scheduler_->now();
+  const TimeNs dt = now - counter_refill_time_;
+  if (dt > 0) {
+    // Refill at the *target* utilization, not raw line rate: released grants
+    // become full frames with preamble/IFG overhead on the wire, and with
+    // zero headroom the queue would random-walk into the buffer limit.
+    counter_bytes_ += config_.rho0 * bytes_per_ns_ * static_cast<double>(dt) *
+                      (static_cast<double>(config_.delay_quantum) /
+                       static_cast<double>(config_.delay_quantum + kWireOverheadBytes));
+    counter_refill_time_ = now;
+  }
+  const double cap = config_.counter_cap_quanta * config_.delay_quantum;
+  counter_bytes_ = std::min(counter_bytes_, cap);
+}
+
+bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
+  if (!config_.enable_delay_function || !pkt->is_ack() || !pkt->rma ||
+      pkt->window == kWindowInfinite) {
+    return true;
+  }
+  RefillCounter();
+  const double quantum = config_.delay_quantum;
+  const double w = pkt->window;
+
+  if (w >= quantum) {
+    // Full windows pass immediately but debit the counter, which throttles
+    // the sub-MSS release rate so that the port's total allocation per slot
+    // stays within the token value. Bound the debt so a long burst of large
+    // windows cannot starve small flows indefinitely.
+    counter_bytes_ = std::max(counter_bytes_ - w, -config_.token_boost_cap * bdp_bytes());
+    return true;
+  }
+
+  // Sub-MSS window: upgrade to one MSS if the counter affords it now (and
+  // nobody is already waiting), otherwise park the ACK.
+  if (delay_queue_.empty() && counter_bytes_ >= quantum) {
+    pkt->window = config_.delay_quantum;
+    counter_bytes_ -= quantum;
+    return true;
+  }
+  if (delay_queue_.size() >= config_.delay_queue_limit) {
+    pkt->window = config_.delay_quantum;  // fail open rather than drop
+    return true;
+  }
+  delay_queue_.push_back(std::move(pkt));
+  ++delayed_acks_;
+  ScheduleRelease();
+  return false;
+}
+
+void TfcPortAgent::ScheduleRelease() {
+  if (release_timer_.pending() || delay_queue_.empty()) {
+    return;
+  }
+  const double deficit = config_.delay_quantum - counter_bytes_;
+  TimeNs wait = 0;
+  if (deficit > 0) {
+    wait = static_cast<TimeNs>(std::ceil(deficit / (config_.rho0 * bytes_per_ns_)));
+  }
+  release_timer_.RestartAfter(wait);
+}
+
+void TfcPortAgent::ReleaseParkedAcks() {
+  RefillCounter();
+  const double quantum = config_.delay_quantum;
+  while (!delay_queue_.empty() && counter_bytes_ >= quantum) {
+    PacketPtr pkt = std::move(delay_queue_.front());
+    delay_queue_.pop_front();
+    pkt->window = config_.delay_quantum;
+    counter_bytes_ -= quantum;
+    switch_->Forward(std::move(pkt));
+  }
+  ScheduleRelease();
+}
+
+// ---------------------------------------------------------------------------
+
+int InstallTfcSwitches(Network& network, const TfcSwitchConfig& config) {
+  int installed = 0;
+  for (const auto& node : network.nodes()) {
+    auto* sw = dynamic_cast<Switch*>(node.get());
+    if (sw == nullptr) {
+      continue;
+    }
+    for (const auto& port : sw->ports()) {
+      port->set_agent(std::make_unique<TfcPortAgent>(sw, port.get(), config));
+      ++installed;
+    }
+  }
+  return installed;
+}
+
+}  // namespace tfc

@@ -1,0 +1,127 @@
+// TFC per-port switch logic (paper Fig. 3).
+//
+// One TfcPortAgent guards one egress port of a switch and implements the
+// paper's control-path modules:
+//   RTT Timer         — delimiter-flow round marks delimit time slots;
+//                       rtt_m = slot length, rtt_b = min full-frame slot
+//   N Counter         — counts round-marked (RM) arrivals per slot => E[n]
+//   Rho Counter       — accumulates arrival bytes per slot => ρ[n]
+//   Token Allocator   — T[n] = c·rtt_b·ρ0/ρ[n], EWMA-smoothed (Eqs. 7–8)
+//   Window Calculator — W[n+1] = T[n]/E[n], stamped into data packets
+//   Delay Arbiter     — parks RMA ACKs carrying W < MSS until a token-bucket
+//                       counter affords one MSS, then upgrades them (Sec. 4.6)
+//
+// The agent is attached to the port via the net layer's PortAgent interface:
+// OnEgress sees every packet entering the port's queue (the data direction);
+// OnReverse sees every packet the owning switch receives from this port's
+// peer (the direction the data path's ACKs travel).
+
+#ifndef SRC_TFC_SWITCH_PORT_H_
+#define SRC_TFC_SWITCH_PORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/net/port.h"
+#include "src/net/switch.h"
+#include "src/sim/timer.h"
+#include "src/tfc/config.h"
+
+namespace tfc {
+
+class TfcPortAgent : public PortAgent {
+ public:
+  TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& config);
+
+  // PortAgent:
+  void OnEgress(Packet& pkt) override;
+  bool OnReverse(PacketPtr& pkt) override;
+
+  // Observation snapshot emitted at the end of every time slot.
+  struct SlotInfo {
+    TimeNs end_time;
+    TimeNs rtt_m;      // instantaneous slot length
+    TimeNs rtt_b;      // running min RTT (no-queueing estimate)
+    int effective_flows;  // E[n]
+    double rho;        // measured utilization during the slot
+    double token_bytes;
+    double window_bytes;
+  };
+  std::function<void(const SlotInfo&)> on_slot;
+
+  // --- observers (tests, samplers, benches) ---
+  TimeNs rtt_b() const { return rttb_; }
+  TimeNs rtt_m() const { return rttm_last_; }
+  int last_effective_flows() const { return last_E_; }
+  double token_bytes() const { return token_bytes_; }
+  double window_bytes() const { return window_bytes_; }
+  bool has_window() const { return have_window_; }
+  int delimiter_flow() const { return delimiter_flow_; }
+  uint64_t slots_completed() const { return slots_completed_; }
+  uint64_t delayed_acks() const { return delayed_acks_; }
+  size_t delay_queue_length() const { return delay_queue_.size(); }
+  const TfcSwitchConfig& config() const { return config_; }
+
+  // Convenience downcast for a port known to run TFC (null otherwise).
+  static TfcPortAgent* FromPort(Port* port);
+
+ private:
+  void AdoptDelimiter(const Packet& pkt);
+  void EndSlot(const Packet& pkt);
+  void StampWindow(Packet& pkt) const;
+  void ArmFailover();
+  void OnFailoverTimer();
+
+  // Delay arbiter internals.
+  void RefillCounter();
+  void ScheduleRelease();
+  void ReleaseParkedAcks();
+  double bdp_bytes() const;  // c · rtt_b in bytes
+
+  Switch* switch_;
+  Port* port_;
+  TfcSwitchConfig config_;
+  Scheduler* scheduler_;
+  double bytes_per_ns_;  // link rate in bytes per nanosecond
+
+  // Slot / delimiter state.
+  int delimiter_flow_ = -1;
+  bool delimiter_closed_ = false;
+  bool want_new_delimiter_ = true;
+  TimeNs slot_start_ = 0;
+  TimeNs rttb_;
+  TimeNs rttb_epoch_min_;
+  TimeNs rttb_prev_epoch_min_;
+  uint64_t rttb_epoch_count_ = 0;
+  bool rttb_measured_ = false;
+  TimeNs rttm_last_ = 0;
+  int E_ = 1;
+  int synfin_count_ = 0;  // only maintained in FlowCountMode::kSynFin
+  uint64_t arrived_wire_bytes_ = 0;
+  uint64_t slot_start_queue_bytes_ = 0;
+  int miss_k_ = 0;
+  Timer failover_timer_;
+
+  // Allocation state.
+  double token_bytes_;
+  double window_bytes_ = 0.0;
+  bool have_window_ = false;
+  int last_E_ = 0;
+  uint64_t slots_completed_ = 0;
+
+  // Delay arbiter state.
+  double counter_bytes_;
+  TimeNs counter_refill_time_ = 0;
+  std::deque<PacketPtr> delay_queue_;
+  Timer release_timer_;
+  uint64_t delayed_acks_ = 0;
+};
+
+// Attaches a TfcPortAgent to every port of every switch in the network.
+// Must run after all links are created. Returns the number of agents.
+int InstallTfcSwitches(Network& network, const TfcSwitchConfig& config = TfcSwitchConfig());
+
+}  // namespace tfc
+
+#endif  // SRC_TFC_SWITCH_PORT_H_

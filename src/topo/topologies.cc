@@ -1,0 +1,135 @@
+#include "src/topo/topologies.h"
+
+#include <string>
+
+#include "src/sim/check.h"
+
+namespace tfc {
+
+TestbedTopology BuildTestbed(Network& net, const LinkOptions& opts, uint64_t bps,
+                             TimeNs link_delay) {
+  TestbedTopology topo;
+  for (int i = 0; i < 4; ++i) {
+    topo.switches.push_back(net.AddSwitch("NF" + std::to_string(i)));
+  }
+  for (int i = 0; i < 9; ++i) {
+    topo.hosts.push_back(net.AddHost("H" + std::to_string(i + 1)));
+  }
+  // Leaf switches hang off the root.
+  for (int i = 1; i <= 3; ++i) {
+    net.Link(topo.switches[0], topo.switches[static_cast<size_t>(i)], bps, link_delay, opts);
+  }
+  // Three hosts per leaf: H1-H3 on NF1, H4-H6 on NF2, H7-H9 on NF3.
+  for (int i = 0; i < 9; ++i) {
+    net.Link(topo.switches[static_cast<size_t>(1 + i / 3)], topo.hosts[static_cast<size_t>(i)],
+             bps, link_delay, opts);
+  }
+  net.BuildRoutes();
+  return topo;
+}
+
+MultiBottleneckTopology BuildMultiBottleneck(Network& net, const LinkOptions& opts,
+                                             uint64_t bps, TimeNs link_delay) {
+  MultiBottleneckTopology topo;
+  topo.s1 = net.AddSwitch("S1");
+  topo.s2 = net.AddSwitch("S2");
+  topo.h1 = net.AddHost("h1");
+  topo.h2 = net.AddHost("h2");
+  topo.h3 = net.AddHost("h3");
+  topo.h4 = net.AddHost("h4");
+  net.Link(topo.h1, topo.s1, bps, link_delay, opts);
+  net.Link(topo.s1, topo.s2, bps, link_delay, opts);
+  net.Link(topo.h2, topo.s2, bps, link_delay, opts);
+  net.Link(topo.h3, topo.s2, bps, link_delay, opts);
+  net.Link(topo.h4, topo.s2, bps, link_delay, opts);
+  net.BuildRoutes();
+  return topo;
+}
+
+StarTopology BuildStar(Network& net, int num_hosts, const LinkOptions& opts, uint64_t bps,
+                       TimeNs link_delay) {
+  StarTopology topo;
+  topo.sw = net.AddSwitch("S");
+  for (int i = 0; i < num_hosts; ++i) {
+    Host* h = net.AddHost("h" + std::to_string(i));
+    net.Link(h, topo.sw, bps, link_delay, opts);
+    topo.hosts.push_back(h);
+  }
+  net.BuildRoutes();
+  return topo;
+}
+
+LeafSpineTopology BuildLeafSpine(Network& net, int racks, int hosts_per_rack,
+                                 const LinkOptions& opts, uint64_t host_bps,
+                                 uint64_t uplink_bps, TimeNs link_delay) {
+  LeafSpineTopology topo;
+  topo.spine = net.AddSwitch("spine");
+  for (int r = 0; r < racks; ++r) {
+    Switch* leaf = net.AddSwitch("leaf" + std::to_string(r));
+    net.Link(leaf, topo.spine, uplink_bps, link_delay, opts);
+    topo.leaves.push_back(leaf);
+    std::vector<Host*> rack_hosts;
+    for (int i = 0; i < hosts_per_rack; ++i) {
+      Host* h = net.AddHost("h" + std::to_string(r) + "_" + std::to_string(i));
+      net.Link(leaf, h, host_bps, link_delay, opts);
+      rack_hosts.push_back(h);
+      topo.all_hosts.push_back(h);
+    }
+    topo.racks.push_back(std::move(rack_hosts));
+  }
+  net.BuildRoutes();
+  return topo;
+}
+
+FatTreeTopology BuildFatTree(Network& net, int k, const LinkOptions& opts, uint64_t bps,
+                             TimeNs link_delay) {
+  TFC_CHECK(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  FatTreeTopology topo;
+  topo.k = k;
+
+  // Core layer: (k/2)^2 switches arranged as half groups of half.
+  for (int i = 0; i < half * half; ++i) {
+    topo.cores.push_back(net.AddSwitch("core" + std::to_string(i)));
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<Switch*> edge_row;
+    std::vector<Switch*> agg_row;
+    for (int i = 0; i < half; ++i) {
+      edge_row.push_back(
+          net.AddSwitch("edge" + std::to_string(pod) + "_" + std::to_string(i)));
+      agg_row.push_back(
+          net.AddSwitch("agg" + std::to_string(pod) + "_" + std::to_string(i)));
+    }
+    // Full bipartite edge <-> aggregation mesh within the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        net.Link(edge_row[static_cast<size_t>(e)], agg_row[static_cast<size_t>(a)], bps,
+                 link_delay, opts);
+      }
+    }
+    // Aggregation switch a connects to core group a (cores a*half .. a*half+half-1).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        net.Link(agg_row[static_cast<size_t>(a)],
+                 topo.cores[static_cast<size_t>(a * half + c)], bps, link_delay, opts);
+      }
+    }
+    // Hosts: half per edge switch.
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        Host* host = net.AddHost("h" + std::to_string(pod) + "_" + std::to_string(e) +
+                                 "_" + std::to_string(h));
+        net.Link(edge_row[static_cast<size_t>(e)], host, bps, link_delay, opts);
+        topo.hosts.push_back(host);
+      }
+    }
+    topo.edges.push_back(std::move(edge_row));
+    topo.aggs.push_back(std::move(agg_row));
+  }
+  net.BuildRoutes();
+  return topo;
+}
+
+}  // namespace tfc

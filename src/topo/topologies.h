@@ -1,0 +1,88 @@
+// Topology builders for every scenario in the paper's evaluation.
+//
+// All builders leave routing unbuilt until the caller finishes adding any
+// extra links; call net.BuildRoutes() (the builders do it for you unless
+// noted). Hosts are returned in declaration order matching the paper's
+// figures.
+
+#ifndef SRC_TOPO_TOPOLOGIES_H_
+#define SRC_TOPO_TOPOLOGIES_H_
+
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace tfc {
+
+// Paper Fig. 4: the NetFPGA testbed. NF0 is the root; NF1..NF3 each connect
+// three hosts. All links 1 Gbps. hosts[i] is H(i+1) in the paper; NF1 hosts
+// H1-H3, NF2 hosts H4-H6, NF3 hosts H7-H9.
+struct TestbedTopology {
+  std::vector<Host*> hosts;     // H1..H9
+  std::vector<Switch*> switches;  // NF0..NF3
+};
+TestbedTopology BuildTestbed(Network& net, const LinkOptions& opts = LinkOptions(),
+                             uint64_t bps = kGbps, TimeNs link_delay = Microseconds(5));
+
+// Paper Fig. 5: work-conserving scenario. Host 1 -- S1 -- S2 -- {2, 3, 4}.
+// Bottleneck A: S1->S2 uplink; bottleneck B: S2->host3 downlink.
+struct MultiBottleneckTopology {
+  Host* h1;
+  Host* h2;
+  Host* h3;
+  Host* h4;
+  Switch* s1;
+  Switch* s2;
+};
+MultiBottleneckTopology BuildMultiBottleneck(Network& net,
+                                             const LinkOptions& opts = LinkOptions(),
+                                             uint64_t bps = kGbps,
+                                             TimeNs link_delay = Microseconds(5));
+
+// Single-switch star: n hosts on one switch — the incast micro-topology
+// (paper Sec. 6.2.1 uses this shape at 10 Gbps with 512 KB buffers).
+struct StarTopology {
+  std::vector<Host*> hosts;
+  Switch* sw;
+};
+StarTopology BuildStar(Network& net, int num_hosts, const LinkOptions& opts = LinkOptions(),
+                       uint64_t bps = kGbps, TimeNs link_delay = Microseconds(5));
+
+// Paper Sec. 6.2.2: two-tier tree for the large-scale benchmark — `racks`
+// leaf switches, each with `hosts_per_rack` servers on 1 Gbps downlinks and
+// one 10 Gbps uplink to a single top switch. Per the paper each link's
+// latency is 20 µs (4-hop RTT 160 µs, 2-hop RTT 80 µs).
+struct LeafSpineTopology {
+  std::vector<std::vector<Host*>> racks;  // racks[r][i]
+  std::vector<Switch*> leaves;
+  Switch* spine;
+  std::vector<Host*> all_hosts;  // flattened, rack-major
+};
+LeafSpineTopology BuildLeafSpine(Network& net, int racks, int hosts_per_rack,
+                                 const LinkOptions& opts = LinkOptions(),
+                                 uint64_t host_bps = kGbps, uint64_t uplink_bps = 10 * kGbps,
+                                 TimeNs link_delay = Microseconds(20));
+
+// Three-tier k-ary fat tree (Al-Fares et al., referenced by the paper as
+// the canonical multi-rooted multi-path topology). k must be even:
+// k pods x (k/2 edge + k/2 aggregation switches), (k/2)^2 core switches,
+// (k/2)^2 hosts per pod — k=4 gives 16 hosts / 20 switches. Every
+// inter-pod host pair has (k/2)^2 equal-cost paths, exercised by the
+// switches' per-flow ECMP.
+struct FatTreeTopology {
+  int k = 0;
+  std::vector<Host*> hosts;                    // pod-major order
+  std::vector<std::vector<Switch*>> edges;     // [pod][i]
+  std::vector<std::vector<Switch*>> aggs;      // [pod][i]
+  std::vector<Switch*> cores;
+
+  Host* host(int pod, int index) const {
+    return hosts.at(static_cast<size_t>(pod * (k / 2) * (k / 2) + index));
+  }
+};
+FatTreeTopology BuildFatTree(Network& net, int k, const LinkOptions& opts = LinkOptions(),
+                             uint64_t bps = kGbps, TimeNs link_delay = Microseconds(5));
+
+}  // namespace tfc
+
+#endif  // SRC_TOPO_TOPOLOGIES_H_

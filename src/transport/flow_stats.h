@@ -1,0 +1,29 @@
+// Per-flow lifetime statistics, filled in by the transport machinery and
+// consumed by the workload/statistics layer.
+
+#ifndef SRC_TRANSPORT_FLOW_STATS_H_
+#define SRC_TRANSPORT_FLOW_STATS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace tfc {
+
+struct FlowStats {
+  TimeNs start_time = -1;     // when Start() was called
+  TimeNs complete_time = -1;  // when the FIN was acknowledged
+  uint64_t bytes_goal = 0;    // total payload bytes requested so far
+  uint64_t bytes_acked = 0;   // payload bytes cumulatively acknowledged
+  uint64_t data_packets_sent = 0;
+  uint64_t acks_received = 0;
+  uint64_t retransmits = 0;  // fast retransmits + timeout retransmissions
+  uint64_t timeouts = 0;     // RTO expirations
+
+  bool complete() const { return complete_time >= 0; }
+  TimeNs fct() const { return complete() ? complete_time - start_time : -1; }
+};
+
+}  // namespace tfc
+
+#endif  // SRC_TRANSPORT_FLOW_STATS_H_

@@ -1,0 +1,138 @@
+#include "src/transport/reliable_receiver.h"
+
+#include "src/net/network.h"
+#include "src/sim/check.h"
+
+namespace tfc {
+
+ReliableReceiver::ReliableReceiver(Network* network, Host* local, int flow_id,
+                                   uint64_t advertised_window, uint32_t ack_every,
+                                   TimeNs delayed_ack_timeout)
+    : network_(network),
+      local_(local),
+      flow_id_(flow_id),
+      advertised_window_(advertised_window),
+      ack_every_(ack_every),
+      delayed_ack_timeout_(delayed_ack_timeout),
+      delack_timer_(&network->scheduler(), [this] { FlushDelayedAck(); }) {
+  TFC_CHECK(ack_every_ >= 1);
+  local_->RegisterEndpoint(flow_id_, this);
+}
+
+ReliableReceiver::~ReliableReceiver() { local_->UnregisterEndpoint(flow_id_); }
+
+void ReliableReceiver::OnReceive(PacketPtr pkt) {
+  switch (pkt->type) {
+    case PacketType::kSyn:
+      SendAck(*pkt, PacketType::kSynAck);
+      return;
+    case PacketType::kData:
+      HandleData(*pkt);
+      return;
+    case PacketType::kFin:
+      // The sender only emits FIN once all data is acknowledged, so a FIN
+      // whose seq matches rcv_next_ terminates cleanly; anything else is a
+      // stale retransmission and gets a plain cumulative ACK.
+      if (pkt->seq <= rcv_next_) {
+        SendAck(*pkt, PacketType::kFinAck);
+      } else {
+        SendAck(*pkt, PacketType::kAck);
+      }
+      return;
+    default:
+      return;  // receivers ignore stray ACK-type packets
+  }
+}
+
+void ReliableReceiver::HandleData(const Packet& pkt) {
+  bool advanced_in_order = false;
+  if (pkt.payload > 0) {
+    const uint64_t start = pkt.seq;
+    const uint64_t end = pkt.seq + pkt.payload;
+    const uint64_t before = rcv_next_;
+    if (end > rcv_next_) {
+      // Merge [max(start, rcv_next_), end) into the out-of-order store.
+      uint64_t s = std::max(start, rcv_next_);
+      auto it = out_of_order_.lower_bound(s);
+      if (it != out_of_order_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= s) {
+          s = prev->first;
+          it = prev;
+        }
+      }
+      uint64_t e = end;
+      while (it != out_of_order_.end() && it->first <= e) {
+        e = std::max(e, it->second);
+        s = std::min(s, it->first);
+        it = out_of_order_.erase(it);
+      }
+      out_of_order_[s] = e;
+      // Advance the in-order frontier.
+      auto head = out_of_order_.begin();
+      if (head != out_of_order_.end() && head->first <= rcv_next_) {
+        rcv_next_ = std::max(rcv_next_, head->second);
+        out_of_order_.erase(head);
+      }
+    }
+    if (rcv_next_ > before) {
+      advanced_in_order = out_of_order_.empty();
+      if (on_deliver) {
+        on_deliver(rcv_next_ - before);
+      }
+    }
+  }
+
+  // Decide between an immediate and a delayed cumulative ACK. Anything the
+  // sender must react to promptly short-circuits the delay.
+  const bool must_ack_now = ack_every_ <= 1 || !advanced_in_order || pkt.payload == 0 ||
+                            pkt.rm || pkt.ecn_ce;
+  ++unacked_data_;
+  if (must_ack_now || unacked_data_ >= ack_every_) {
+    unacked_data_ = 0;
+    delack_timer_.Cancel();
+    SendAck(pkt, PacketType::kAck);
+    return;
+  }
+  pending_ack_src_ = pkt.src;
+  pending_ack_ts_ = pkt.ts;
+  if (!delack_timer_.pending()) {
+    delack_timer_.RestartAfter(delayed_ack_timeout_);
+  }
+}
+
+void ReliableReceiver::FlushDelayedAck() {
+  if (unacked_data_ == 0 || pending_ack_src_ < 0) {
+    return;
+  }
+  unacked_data_ = 0;
+  Packet cause;
+  cause.flow_id = flow_id_;
+  cause.src = pending_ack_src_;
+  cause.dst = local_->id();
+  cause.type = PacketType::kData;
+  cause.ts = pending_ack_ts_;
+  SendAck(cause, PacketType::kAck);
+}
+
+void ReliableReceiver::SendAck(const Packet& cause, PacketType type) {
+  auto ack = std::make_unique<Packet>();
+  ack->uid = network_->AllocatePacketUid();
+  ack->flow_id = flow_id_;
+  ack->src = local_->id();
+  ack->dst = cause.src;
+  ack->type = type;
+  ack->ack = rcv_next_;
+  ack->ts_echo = cause.ts;
+  DecorateAck(cause, *ack);
+  ++acks_sent_;
+  local_->Send(std::move(ack));
+}
+
+void ReliableReceiver::DecorateAck(const Packet& data, Packet& ack) {
+  ack.ecn_echo = data.ecn_ce;
+  ack.window = static_cast<uint32_t>(
+      std::min<uint64_t>(advertised_window_, kWindowInfinite));
+}
+
+}  // namespace tfc

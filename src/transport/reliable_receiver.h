@@ -1,0 +1,79 @@
+// Receiver half of a flow: reassembly, cumulative ACK generation, ECN echo.
+//
+// By default the receiver ACKs every data packet. With `ack_every > 1` it
+// runs a classic delayed-ACK policy: in-order, unmarked data is coalesced
+// and acknowledged every Nth packet or after a short timeout, while
+// anything that carries a signal — out-of-order arrivals (dup-ACKs drive
+// fast retransmit), CE marks (DCTCP needs per-packet echo), TFC round
+// marks (the RMA carries the window grant), zero-payload probes, and
+// control packets — is acknowledged immediately. Protocol-specific ACK
+// decoration (TFC's RMA bit + window echo) is a virtual hook.
+
+#ifndef SRC_TRANSPORT_RELIABLE_RECEIVER_H_
+#define SRC_TRANSPORT_RELIABLE_RECEIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/net/host.h"
+#include "src/net/packet.h"
+#include "src/sim/timer.h"
+
+namespace tfc {
+
+class Network;
+
+class ReliableReceiver : public Endpoint {
+ public:
+  ReliableReceiver(Network* network, Host* local, int flow_id, uint64_t advertised_window,
+                   uint32_t ack_every = 1, TimeNs delayed_ack_timeout = Microseconds(200));
+  ~ReliableReceiver() override;
+
+  void OnReceive(PacketPtr pkt) override;
+
+  // In-order payload bytes delivered to the application so far.
+  uint64_t delivered_bytes() const { return rcv_next_; }
+
+  // Number of ACK packets this receiver has emitted.
+  uint64_t acks_sent() const { return acks_sent_; }
+
+  // Called with the number of new in-order bytes each time delivery advances.
+  std::function<void(uint64_t)> on_deliver;
+
+  Host* local() const { return local_; }
+  int flow_id() const { return flow_id_; }
+
+ protected:
+  // Fills protocol-specific ACK fields from the data packet it acknowledges.
+  // Base behaviour: echo ECN CE, advertise the receive window.
+  virtual void DecorateAck(const Packet& data, Packet& ack);
+
+  uint64_t advertised_window() const { return advertised_window_; }
+
+ private:
+  void HandleData(const Packet& pkt);
+  void SendAck(const Packet& cause, PacketType type);
+  void FlushDelayedAck();
+
+  Network* network_;
+  Host* local_;
+  int flow_id_;
+  uint64_t advertised_window_;
+  uint32_t ack_every_;
+  TimeNs delayed_ack_timeout_;
+
+  uint64_t rcv_next_ = 0;
+  std::map<uint64_t, uint64_t> out_of_order_;  // start -> end (exclusive)
+
+  // Delayed-ACK state.
+  uint32_t unacked_data_ = 0;
+  int32_t pending_ack_src_ = -1;
+  TimeNs pending_ack_ts_ = 0;
+  Timer delack_timer_;
+  uint64_t acks_sent_ = 0;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_TRANSPORT_RELIABLE_RECEIVER_H_

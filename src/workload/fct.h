@@ -1,0 +1,50 @@
+// Flow-completion-time bookkeeping, binned the way the paper reports it
+// (Fig. 13 / Fig. 16): query flows as one population with mean + tail
+// percentiles; background flows binned by size.
+
+#ifndef SRC_WORKLOAD_FCT_H_
+#define SRC_WORKLOAD_FCT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+
+// Background-flow size bins used by the paper's Fig. 13b / 16b.
+inline constexpr int kNumSizeBins = 6;
+inline constexpr std::array<uint64_t, kNumSizeBins - 1> kSizeBinEdges = {
+    1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+inline constexpr std::array<const char*, kNumSizeBins> kSizeBinLabels = {
+    "<1KB", "1-10KB", "10-100KB", "100KB-1MB", "1-10MB", ">10MB"};
+
+inline int SizeBin(uint64_t bytes) {
+  for (int i = 0; i < kNumSizeBins - 1; ++i) {
+    if (bytes < kSizeBinEdges[static_cast<size_t>(i)]) {
+      return i;
+    }
+  }
+  return kNumSizeBins - 1;
+}
+
+class FctRecorder {
+ public:
+  void AddQuery(TimeNs fct) { query_.Add(ToMicroseconds(fct)); }
+  void AddBackground(uint64_t bytes, TimeNs fct) {
+    background_[static_cast<size_t>(SizeBin(bytes))].Add(ToMicroseconds(fct));
+  }
+
+  SampleSet& query() { return query_; }
+  SampleSet& background(int bin) { return background_.at(static_cast<size_t>(bin)); }
+
+ private:
+  SampleSet query_;
+  std::array<SampleSet, kNumSizeBins> background_;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_WORKLOAD_FCT_H_

@@ -1,0 +1,65 @@
+// A long-lived flow that keeps its sender saturated while "active" —
+// the building block for the paper's long-lived and on-off (Storm-like)
+// workloads. While active, a fresh chunk is written every time the send
+// buffer drains; while inactive, the flow stays open but silent, which is
+// exactly the "silent flow" case TFC's effective-flow counting handles.
+
+#ifndef SRC_WORKLOAD_PERSISTENT_FLOW_H_
+#define SRC_WORKLOAD_PERSISTENT_FLOW_H_
+
+#include <memory>
+
+#include "src/transport/reliable_sender.h"
+
+namespace tfc {
+
+class PersistentFlow {
+ public:
+  // The default refill chunk is a whole number of segments: a partial tail
+  // packet would otherwise leave window room for one extra packet exactly at
+  // every chunk boundary, and lockstep flows would all spend that extra
+  // packet in the same RTT — a periodic synchronized burst that is an
+  // artifact of the chunking, not of the protocol under test.
+  explicit PersistentFlow(std::unique_ptr<ReliableSender> sender,
+                          uint64_t chunk_bytes = 64 * kMssBytes)
+      : sender_(std::move(sender)), chunk_bytes_(chunk_bytes) {
+    // Refill as soon as the transmit buffer runs dry (not when it drains of
+    // ACKs), so an active flow never leaves a bubble in the pipe.
+    sender_->on_tx_buffer_empty = [this] {
+      if (active_) {
+        sender_->Write(chunk_bytes_);
+      }
+    };
+  }
+
+  // Connects; begins writing immediately if already activated.
+  void Start() {
+    sender_->Start();
+    if (active_) {
+      sender_->Write(chunk_bytes_);
+    }
+  }
+
+  void SetActive(bool active) {
+    if (active == active_) {
+      return;
+    }
+    active_ = active;
+    if (active_) {
+      sender_->Write(chunk_bytes_);
+    }
+  }
+
+  bool active() const { return active_; }
+  ReliableSender& sender() { return *sender_; }
+  uint64_t delivered_bytes() const { return sender_->delivered_bytes(); }
+
+ private:
+  std::unique_ptr<ReliableSender> sender_;
+  uint64_t chunk_bytes_;
+  bool active_ = true;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_WORKLOAD_PERSISTENT_FLOW_H_

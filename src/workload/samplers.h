@@ -1,0 +1,91 @@
+// Measurement instruments: periodic queue-length and goodput samplers.
+
+#ifndef SRC_WORKLOAD_SAMPLERS_H_
+#define SRC_WORKLOAD_SAMPLERS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/net/port.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+#include "src/sim/timer.h"
+
+namespace tfc {
+
+struct TimeSeries {
+  std::vector<double> t;  // seconds
+  std::vector<double> v;
+
+  void Add(double time_s, double value) {
+    t.push_back(time_s);
+    v.push_back(value);
+  }
+  size_t size() const { return v.size(); }
+};
+
+// Samples a port's instantaneous queue occupancy (frame bytes).
+class QueueSampler {
+ public:
+  QueueSampler(Scheduler* scheduler, Port* port, TimeNs interval)
+      : port_(port), timer_(scheduler, [this, scheduler] {
+          const double bytes = static_cast<double>(port_->queue_bytes());
+          series.Add(ToSeconds(scheduler->now()), bytes);
+          stats.Add(bytes);
+        }) {
+    timer_.Start(interval, /*first_delay=*/0);
+  }
+
+  void Stop() { timer_.Stop(); }
+
+  TimeSeries series;
+  RunningStats stats;
+
+ private:
+  Port* port_;
+  PeriodicTimer timer_;
+};
+
+// Samples the rate of an arbitrary cumulative byte counter (e.g. a
+// receiver's delivered bytes, or a sum over several flows) and reports it
+// in bits per second per interval.
+class GoodputSampler {
+ public:
+  using ByteCounter = std::function<uint64_t()>;
+
+  GoodputSampler(Scheduler* scheduler, ByteCounter counter, TimeNs interval)
+      : counter_(std::move(counter)),
+        interval_(interval),
+        timer_(scheduler, [this, scheduler] { Tick(scheduler->now()); }) {
+    last_bytes_ = counter_();
+    timer_.Start(interval);
+  }
+
+  void Stop() { timer_.Stop(); }
+
+  // Mean rate over all samples collected so far (bps).
+  double mean_bps() const { return stats.mean(); }
+
+  TimeSeries series;  // bps per interval
+  RunningStats stats;
+
+ private:
+  void Tick(TimeNs now) {
+    const uint64_t bytes = counter_();
+    const double bps =
+        static_cast<double>(bytes - last_bytes_) * 8.0 / ToSeconds(interval_);
+    last_bytes_ = bytes;
+    series.Add(ToSeconds(now), bps);
+    stats.Add(bps);
+  }
+
+  ByteCounter counter_;
+  TimeNs interval_;
+  uint64_t last_bytes_ = 0;
+  PeriodicTimer timer_;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_WORKLOAD_SAMPLERS_H_

@@ -1,0 +1,65 @@
+#include "src/workload/shuffle.h"
+
+#include "src/sim/check.h"
+
+namespace tfc {
+
+ShuffleApp::ShuffleApp(Network* net, const ProtocolSuite& suite,
+                       std::vector<Host*> participants, const ShuffleConfig& config)
+    : net_(net), config_(config) {
+  TFC_CHECK(participants.size() >= 2);
+  for (Host* src : participants) {
+    for (Host* dst : participants) {
+      if (src == dst) {
+        continue;
+      }
+      auto flow = suite.MakeSender(net, src, dst);
+      flow->Write(config_.block_bytes);
+      flow->Close();
+      flow->on_complete = [this] {
+        ++completed_;
+        if (completed_ == flows_.size()) {
+          finish_time_ = net_->scheduler().now();
+          if (on_finished) {
+            on_finished();
+          }
+        }
+      };
+      flows_.push_back(std::move(flow));
+    }
+  }
+}
+
+void ShuffleApp::Start() {
+  start_time_ = net_->scheduler().now();
+  for (auto& f : flows_) {
+    f->Start();
+  }
+}
+
+TimeNs ShuffleApp::elapsed() const {
+  const TimeNs end = finished() ? finish_time_ : net_->scheduler().now();
+  return end - start_time_;
+}
+
+double ShuffleApp::goodput_bps() const {
+  const double secs = ToSeconds(elapsed());
+  if (secs <= 0) {
+    return 0.0;
+  }
+  uint64_t delivered = 0;
+  for (const auto& f : flows_) {
+    delivered += f->delivered_bytes();
+  }
+  return static_cast<double>(delivered) * 8.0 / secs;
+}
+
+uint64_t ShuffleApp::total_timeouts() const {
+  uint64_t total = 0;
+  for (const auto& f : flows_) {
+    total += f->stats().timeouts;
+  }
+  return total;
+}
+
+}  // namespace tfc

@@ -1,0 +1,56 @@
+// All-to-all shuffle workload — the MapReduce phase the paper's intro cites
+// as a driver of data-center congestion. Every participant sends one block
+// to every other participant; the shuffle completes when the last byte of
+// the last transfer is acknowledged. Unlike incast there is no per-round
+// barrier: all n*(n-1) flows run concurrently, stressing every egress port
+// at once.
+
+#ifndef SRC_WORKLOAD_SHUFFLE_H_
+#define SRC_WORKLOAD_SHUFFLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/workload/protocol.h"
+
+namespace tfc {
+
+struct ShuffleConfig {
+  uint64_t block_bytes = 1024 * 1024;  // per (src, dst) pair
+};
+
+class ShuffleApp {
+ public:
+  ShuffleApp(Network* net, const ProtocolSuite& suite, std::vector<Host*> participants,
+             const ShuffleConfig& config);
+
+  void Start();
+
+  std::function<void()> on_finished;
+
+  bool finished() const { return completed_ == flows_.size() && !flows_.empty(); }
+  size_t flows_total() const { return flows_.size(); }
+  size_t flows_completed() const { return completed_; }
+  TimeNs start_time() const { return start_time_; }
+  TimeNs finish_time() const { return finish_time_; }
+  // Shuffle duration so far (or final, once finished).
+  TimeNs elapsed() const;
+  // Aggregate goodput: total payload moved / elapsed.
+  double goodput_bps() const;
+  uint64_t total_timeouts() const;
+
+  const std::vector<std::unique_ptr<ReliableSender>>& flows() const { return flows_; }
+
+ private:
+  Network* net_;
+  ShuffleConfig config_;
+  std::vector<std::unique_ptr<ReliableSender>> flows_;
+  size_t completed_ = 0;
+  TimeNs start_time_ = 0;
+  TimeNs finish_time_ = 0;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_WORKLOAD_SHUFFLE_H_

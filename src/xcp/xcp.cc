@@ -1,0 +1,147 @@
+#include "src/xcp/xcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/net/network.h"
+
+namespace tfc {
+
+// ---------------------------------------------------------------------------
+// Switch side
+// ---------------------------------------------------------------------------
+
+XcpPortAgent::XcpPortAgent(Switch* owner, Port* port, const XcpSwitchConfig& config)
+    : port_(port),
+      config_(config),
+      scheduler_(port->scheduler()),
+      capacity_Bps_(static_cast<double>(port->bps()) / 8.0),
+      dhat_(config.initial_dhat),
+      update_timer_(port->scheduler(), [this] { UpdateControl(); }) {
+  (void)owner;
+  last_update_ = scheduler_->now();
+  update_timer_.RestartAfter(dhat_);
+}
+
+XcpPortAgent* XcpPortAgent::FromPort(Port* port) {
+  return dynamic_cast<XcpPortAgent*>(port->agent());
+}
+
+void XcpPortAgent::OnEgress(Packet& pkt) {
+  const double size = pkt.wire_bytes();
+  arrived_bytes_ += pkt.wire_bytes();
+  if (!pkt.is_data() || pkt.payload == 0) {
+    return;
+  }
+  const double rtt = pkt.rtt_hint > 0 ? ToSeconds(pkt.rtt_hint) : ToSeconds(dhat_);
+  const double cwnd = std::max<double>(pkt.cwnd_hint, kMssBytes);
+
+  // Per-interval estimator sums (Katabi Sec. 3.5):
+  //   xi_p denominator: sum s_i * rtt_i / cwnd_i   [seconds]
+  //   xi_n denominator: sum s_i                    [bytes]
+  sum_rtt_per_cwnd_ += size * rtt / cwnd;
+  sum_data_bytes_ += size;
+  sum_rtt_weighted_ += size * rtt;
+
+  // Feedback for this packet from the *previous* interval's control state.
+  const double feedback = xi_p_ * rtt * rtt * size / cwnd - xi_n_ * rtt * size;
+  if (!pkt.xcp_feedback_set || feedback < pkt.xcp_feedback) {
+    pkt.xcp_feedback = feedback;
+    pkt.xcp_feedback_set = true;
+  }
+}
+
+void XcpPortAgent::UpdateControl() {
+  const TimeNs now = scheduler_->now();
+  const TimeNs interval = now - last_update_;
+  last_update_ = now;
+
+  if (interval > 0 && arrived_bytes_ > 0) {
+    const double d = ToSeconds(interval);
+    const double y = static_cast<double>(arrived_bytes_) / d;  // input Bps
+    const double q = static_cast<double>(port_->queue_bytes());
+    const double spare = capacity_Bps_ - y;
+    const double phi = config_.alpha * d * spare - config_.beta * q;  // bytes
+    const double shuffle = std::max(0.0, config_.gamma * static_cast<double>(arrived_bytes_) -
+                                             std::abs(phi));
+    const double pos = shuffle + std::max(phi, 0.0);
+    const double neg = shuffle + std::max(-phi, 0.0);
+    xi_p_ = sum_rtt_per_cwnd_ > 0 ? pos / (d * sum_rtt_per_cwnd_) : 0.0;
+    xi_n_ = sum_data_bytes_ > 0 ? neg / (d * sum_data_bytes_) : 0.0;
+
+    // d-hat: byte-weighted mean RTT of the passing traffic.
+    const double mean_rtt =
+        sum_data_bytes_ > 0 ? sum_rtt_weighted_ / sum_data_bytes_ : 0.0;
+    if (mean_rtt > 0) {
+      dhat_ = std::max<TimeNs>(Microseconds(10), static_cast<TimeNs>(mean_rtt * 1e9));
+    }
+  } else if (arrived_bytes_ == 0) {
+    // Idle port: zero feedback state so a first packet isn't punished.
+    xi_p_ = 0.0;
+    xi_n_ = 0.0;
+  }
+
+  arrived_bytes_ = 0;
+  sum_rtt_per_cwnd_ = 0.0;
+  sum_data_bytes_ = 0.0;
+  sum_rtt_weighted_ = 0.0;
+  update_timer_.RestartAfter(dhat_);
+}
+
+int InstallXcpSwitches(Network& network, const XcpSwitchConfig& config) {
+  int installed = 0;
+  for (const auto& node : network.nodes()) {
+    auto* sw = dynamic_cast<Switch*>(node.get());
+    if (sw == nullptr) {
+      continue;
+    }
+    for (const auto& port : sw->ports()) {
+      port->set_agent(std::make_unique<XcpPortAgent>(sw, port.get(), config));
+      ++installed;
+    }
+  }
+  return installed;
+}
+
+// ---------------------------------------------------------------------------
+// Host side
+// ---------------------------------------------------------------------------
+
+XcpSender::XcpSender(Network* network, Host* local, Host* remote, const XcpHostConfig& config)
+    : ReliableSender(network, local, remote, config.transport),
+      cwnd_(static_cast<double>(kMssBytes)) {
+  InitializeReceiver();
+}
+
+std::unique_ptr<ReliableReceiver> XcpSender::MakeReceiver() {
+  return std::make_unique<XcpReceiver>(network(), remote(), flow_id(),
+                                       transport_config().receive_window,
+                                       transport_config().ack_every,
+                                       transport_config().delayed_ack_timeout);
+}
+
+bool XcpSender::CanSendMore(uint64_t inflight_payload) const {
+  return static_cast<double>(inflight_payload) < cwnd_;
+}
+
+void XcpSender::OnAckHeader(const Packet& ack) {
+  if (!ack.xcp_feedback_set) {
+    return;
+  }
+  cwnd_ = std::max(cwnd_ + ack.xcp_feedback, static_cast<double>(kMssBytes));
+  cwnd_ = std::min(cwnd_, static_cast<double>(transport_config().receive_window));
+}
+
+void XcpSender::OnRetransmitTimeout() {
+  cwnd_ = static_cast<double>(kMssBytes);  // fall back conservatively on loss
+}
+
+void XcpSender::DecorateData(Packet& pkt, bool retransmission) {
+  (void)retransmission;
+  pkt.cwnd_hint = static_cast<uint32_t>(cwnd_);
+  pkt.rtt_hint = srtt();
+  pkt.xcp_feedback = 0.0;
+  pkt.xcp_feedback_set = false;
+}
+
+}  // namespace tfc

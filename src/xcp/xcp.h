@@ -1,0 +1,112 @@
+// XCP — eXplicit Control Protocol (Katabi, Handley, Rohrs, SIGCOMM 2002).
+// The other explicit baseline the TFC paper positions itself against
+// (Sec. 7): routers compute per-packet *window deltas* from an efficiency
+// controller (drive spare bandwidth and queue to zero) plus a fairness
+// controller (bandwidth shuffling), so windows still *evolve* round by
+// round — the slow-convergence behaviour TFC's direct allocation avoids.
+//
+// Per control interval d (the mean RTT of passing traffic):
+//   phi = alpha * d * S - beta * Q        (bytes; S = spare bps, Q = queue)
+//   h   = max(0, gamma * y * d - |phi|)   (shuffled traffic for fairness)
+//   xi_p = (h + phi+) / (d * sum_i s_i * rtt_i / cwnd_i)
+//   xi_n = (h + phi-) / (d * sum_i s_i)
+// and each data packet of size s with header (cwnd, rtt) receives
+//   feedback = xi_p * rtt^2 * s / cwnd - xi_n * rtt * s.
+// Routers keep the minimum (most restrictive) feedback along the path; the
+// receiver echoes it; the sender applies cwnd += feedback per ACK.
+
+#ifndef SRC_XCP_XCP_H_
+#define SRC_XCP_XCP_H_
+
+#include <memory>
+
+#include "src/net/port.h"
+#include "src/net/switch.h"
+#include "src/sim/timer.h"
+#include "src/transport/reliable_sender.h"
+
+namespace tfc {
+
+struct XcpSwitchConfig {
+  double alpha = 0.4;
+  double beta = 0.226;
+  double gamma = 0.1;
+  TimeNs initial_dhat = Microseconds(160);
+};
+
+class XcpPortAgent : public PortAgent {
+ public:
+  XcpPortAgent(Switch* owner, Port* port, const XcpSwitchConfig& config);
+
+  void OnEgress(Packet& pkt) override;
+  bool OnReverse(PacketPtr& pkt) override {
+    (void)pkt;
+    return true;
+  }
+
+  double xi_positive() const { return xi_p_; }
+  double xi_negative() const { return xi_n_; }
+  TimeNs dhat() const { return dhat_; }
+
+  static XcpPortAgent* FromPort(Port* port);
+
+ private:
+  void UpdateControl();
+
+  Port* port_;
+  XcpSwitchConfig config_;
+  Scheduler* scheduler_;
+  double capacity_Bps_;  // bytes per second
+
+  // Measured during the current interval.
+  uint64_t arrived_bytes_ = 0;
+  double sum_rtt_per_cwnd_ = 0.0;     // sum s_i * rtt_i / cwnd_i  (seconds)
+  double sum_data_bytes_ = 0.0;       // sum s_i                   (bytes)
+  double sum_rtt_weighted_ = 0.0;     // for the d-hat average
+
+  // Control outputs applied during the next interval.
+  double xi_p_ = 0.0;
+  double xi_n_ = 0.0;
+  TimeNs dhat_;
+  TimeNs last_update_ = 0;
+  Timer update_timer_;
+};
+
+int InstallXcpSwitches(Network& network, const XcpSwitchConfig& config = XcpSwitchConfig());
+
+struct XcpHostConfig {
+  TransportConfig transport;
+};
+
+class XcpReceiver : public ReliableReceiver {
+ public:
+  using ReliableReceiver::ReliableReceiver;
+
+ protected:
+  void DecorateAck(const Packet& data, Packet& ack) override {
+    ReliableReceiver::DecorateAck(data, ack);
+    ack.xcp_feedback = data.xcp_feedback;
+    ack.xcp_feedback_set = data.xcp_feedback_set;
+  }
+};
+
+class XcpSender : public ReliableSender {
+ public:
+  XcpSender(Network* network, Host* local, Host* remote, const XcpHostConfig& config);
+
+  double cwnd_bytes() const { return cwnd_; }
+
+ protected:
+  bool CanSendMore(uint64_t inflight_payload) const override;
+  void OnAckHeader(const Packet& ack) override;
+  void OnRetransmitTimeout() override;
+  void DecorateData(Packet& pkt, bool retransmission) override;
+  std::unique_ptr<ReliableReceiver> MakeReceiver() override;
+
+ private:
+  double cwnd_;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_XCP_XCP_H_

@@ -1,0 +1,156 @@
+// Delayed-ACK policy tests: coalescing, timeout flush, and the immediate
+// short-circuits that keep loss recovery, DCTCP, and TFC correct.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dctcp/dctcp.h"
+#include "src/net/network.h"
+#include "src/tcp/tcp.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
+
+namespace tfc {
+namespace {
+
+struct Dumbbell {
+  Network net{37};
+  Host* a;
+  Host* b;
+  Switch* s;
+
+  explicit Dumbbell(LinkOptions opts = LinkOptions()) {
+    a = net.AddHost("a");
+    b = net.AddHost("b");
+    s = net.AddSwitch("s");
+    net.Link(a, s, kGbps, Microseconds(5), opts);
+    net.Link(s, b, kGbps, Microseconds(5), opts);
+    net.BuildRoutes();
+  }
+};
+
+TEST(DelayedAckTest, HalvesAckCountAtAckEveryTwo) {
+  Dumbbell d;
+  TcpConfig per_packet;
+  TcpConfig delayed;
+  delayed.transport.ack_every = 2;
+
+  TcpSender f1(&d.net, d.a, d.b, per_packet);
+  f1.Write(1'000'000);
+  f1.Close();
+  f1.Start();
+  d.net.scheduler().Run();
+
+  TcpSender f2(&d.net, d.a, d.b, delayed);
+  f2.Write(1'000'000);
+  f2.Close();
+  f2.Start();
+  d.net.scheduler().Run();
+
+  EXPECT_EQ(f1.delivered_bytes(), 1'000'000u);
+  EXPECT_EQ(f2.delivered_bytes(), 1'000'000u);
+  // Roughly half the ACK packets (control ACKs and boundary effects allow
+  // a margin).
+  EXPECT_LT(f2.receiver().acks_sent(), f1.receiver().acks_sent() * 6 / 10);
+}
+
+TEST(DelayedAckTest, TimeoutFlushesTheTailAck) {
+  Dumbbell d;
+  TcpConfig cfg;
+  cfg.transport.ack_every = 4;
+  cfg.transport.delayed_ack_timeout = Microseconds(100);
+  TcpSender flow(&d.net, d.a, d.b, cfg);
+  // One segment: in-order, unmarked, below the coalescing threshold. Only
+  // the delayed-ACK timer can acknowledge it.
+  flow.Write(kMssBytes);
+  flow.Start();
+  d.net.scheduler().RunUntil(Milliseconds(5));
+  EXPECT_EQ(flow.acked_bytes(), static_cast<uint64_t>(kMssBytes));
+}
+
+TEST(DelayedAckTest, OutOfOrderDataStillTriggersImmediateDupAcks) {
+  // Loss must still produce 3 dup-ACKs promptly for fast retransmit: drop
+  // one packet mid-flow and check the sender repairs without an RTO.
+  LinkOptions opts;
+  Dumbbell d(opts);
+  TcpConfig cfg;
+  cfg.transport.ack_every = 4;
+  TcpSender flow(&d.net, d.a, d.b, cfg);
+  flow.Write(4'000'000);
+  flow.Close();
+  flow.Start();
+  // Briefly break the bottleneck mid-transfer to lose a handful of packets.
+  Port* bottleneck = Network::FindPort(d.s, d.b);
+  const uint64_t limit = bottleneck->buffer_limit();
+  d.net.scheduler().ScheduleAt(Milliseconds(5), [&] { bottleneck->set_buffer_limit(10); });
+  d.net.scheduler().ScheduleAt(Milliseconds(5) + Microseconds(50),
+                               [&] { bottleneck->set_buffer_limit(limit); });
+  d.net.scheduler().Run();
+  EXPECT_EQ(flow.delivered_bytes(), 4'000'000u);
+  EXPECT_GT(flow.stats().retransmits, 0u);
+  EXPECT_EQ(flow.stats().timeouts, 0u);  // dup-ACK recovery, no RTO
+}
+
+TEST(DelayedAckTest, DctcpStillSeesEveryMark) {
+  // CE-marked packets short-circuit the delay, so alpha estimation keeps
+  // per-packet granularity and the queue stays near K.
+  Network net(39);
+  Host* a1 = net.AddHost("a1");
+  Host* a2 = net.AddHost("a2");
+  Host* b = net.AddHost("b");
+  Switch* s = net.AddSwitch("s");
+  LinkOptions opts;
+  opts.ecn_threshold_bytes = kDctcpMarkingThreshold1G;
+  net.Link(a1, s, kGbps, Microseconds(5), opts);
+  net.Link(a2, s, kGbps, Microseconds(5), opts);
+  net.Link(s, b, kGbps, Microseconds(5), opts);
+  net.BuildRoutes();
+
+  DctcpConfig cfg;
+  cfg.tcp.transport.ack_every = 2;
+  PersistentFlow f1(std::make_unique<DctcpSender>(&net, a1, b, cfg));
+  PersistentFlow f2(std::make_unique<DctcpSender>(&net, a2, b, cfg));
+  f1.Start();
+  f2.Start();
+  Port* bottleneck = Network::FindPort(s, b);
+  net.scheduler().RunUntil(Seconds(1.0));
+  bottleneck->ResetMaxQueue();
+  net.scheduler().RunUntil(Seconds(2.0));
+  EXPECT_LT(bottleneck->max_queue_bytes(), 150'000u);
+  EXPECT_EQ(bottleneck->drops(), 0u);
+}
+
+TEST(DelayedAckTest, TfcRoundMarksAlwaysAckedImmediately) {
+  // The RMA is the window grant; with delayed ACKs enabled TFC must still
+  // converge and keep the queue near zero.
+  Network net(41);
+  StarTopology topo = BuildStar(net, 4, LinkOptions(), kGbps, Microseconds(20));
+  InstallTfcSwitches(net);
+  TfcHostConfig cfg;
+  cfg.transport.ack_every = 2;
+  std::vector<std::unique_ptr<PersistentFlow>> flows;
+  for (int i = 1; i <= 3; ++i) {
+    flows.push_back(std::make_unique<PersistentFlow>(std::make_unique<TfcSender>(
+        &net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0], cfg)));
+    flows.back()->Start();
+  }
+  net.scheduler().RunUntil(Milliseconds(100));
+  uint64_t before = 0;
+  for (auto& f : flows) {
+    before += f->delivered_bytes();
+  }
+  net.scheduler().RunUntil(Milliseconds(300));
+  uint64_t after = 0;
+  for (auto& f : flows) {
+    after += f->delivered_bytes();
+  }
+  const double bps = static_cast<double>(after - before) * 8.0 / 0.2;
+  EXPECT_GT(bps, 0.85e9);
+  EXPECT_EQ(Network::FindPort(topo.sw, topo.hosts[0])->drops(), 0u);
+}
+
+}  // namespace
+}  // namespace tfc

@@ -1,0 +1,283 @@
+// Unit tests for the network substrate: links, queues, ECN, routing, hosts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/topo/topologies.h"
+
+namespace tfc {
+namespace {
+
+PacketPtr MakeData(Network& net, int flow, int src, int dst, uint32_t payload) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->uid = net.AllocatePacketUid();
+  pkt->flow_id = flow;
+  pkt->src = src;
+  pkt->dst = dst;
+  pkt->type = PacketType::kData;
+  pkt->payload = payload;
+  return pkt;
+}
+
+// Endpoint that records delivery times of all packets it receives.
+class SinkEndpoint : public Endpoint {
+ public:
+  explicit SinkEndpoint(Scheduler* sched) : sched_(sched) {}
+  void OnReceive(PacketPtr pkt) override {
+    arrival_times.push_back(sched_->now());
+    packets.push_back(std::move(pkt));
+  }
+  std::vector<TimeNs> arrival_times;
+  std::vector<PacketPtr> packets;
+
+ private:
+  Scheduler* sched_;
+};
+
+TEST(PacketTest, SizeAccounting) {
+  Packet p;
+  p.payload = kMssBytes;
+  EXPECT_EQ(p.frame_bytes(), 1518u);
+  EXPECT_EQ(p.wire_bytes(), 1538u);
+  Packet ack;
+  ack.payload = 0;
+  EXPECT_EQ(ack.frame_bytes(), kHeaderBytes);
+  EXPECT_EQ(ack.wire_bytes(), kMinFrameBytes + kWireOverheadBytes);
+}
+
+TEST(LinkTest, SerializationPlusPropagationDelay) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  net.Link(a, b, kGbps, Microseconds(5));
+  net.BuildRoutes();
+
+  SinkEndpoint sink(&net.scheduler());
+  b->RegisterEndpoint(1, &sink);
+
+  a->Send(MakeData(net, 1, a->id(), b->id(), kMssBytes));
+  net.scheduler().Run();
+
+  // 1538 wire bytes at 1 Gbps = 12304 ns serialization + 5000 ns propagation.
+  ASSERT_EQ(sink.arrival_times.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], 12304 + 5000);
+}
+
+TEST(LinkTest, BackToBackPacketsSerializeSequentially) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  net.Link(a, b, kGbps, Microseconds(5));
+  net.BuildRoutes();
+
+  SinkEndpoint sink(&net.scheduler());
+  b->RegisterEndpoint(1, &sink);
+
+  for (int i = 0; i < 3; ++i) {
+    a->Send(MakeData(net, 1, a->id(), b->id(), kMssBytes));
+  }
+  net.scheduler().Run();
+
+  ASSERT_EQ(sink.arrival_times.size(), 3u);
+  EXPECT_EQ(sink.arrival_times[0], 12304 + 5000);
+  EXPECT_EQ(sink.arrival_times[1], 2 * 12304 + 5000);
+  EXPECT_EQ(sink.arrival_times[2], 3 * 12304 + 5000);
+}
+
+TEST(LinkTest, TenGigIsTenTimesFaster) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Port* pa = net.Link(a, b, 10 * kGbps, 0);
+  net.BuildRoutes();
+  EXPECT_EQ(pa->SerializationTime(1538), 1230);  // 12304 / 10, truncated
+}
+
+TEST(QueueTest, TailDropWhenBufferFull) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  LinkOptions opts;
+  opts.host_buffer_bytes = 3 * 1518;  // room for exactly 3 full frames
+  net.Link(a, b, kGbps, 0, opts);
+  net.BuildRoutes();
+
+  SinkEndpoint sink(&net.scheduler());
+  b->RegisterEndpoint(1, &sink);
+
+  // The first packet starts serializing immediately (leaves the queue space
+  // accounting only after serialization completes), so with a 3-frame buffer
+  // we can accept 3 queued + 0 in flight at enqueue time of the 4th/5th.
+  for (int i = 0; i < 6; ++i) {
+    a->Send(MakeData(net, 1, a->id(), b->id(), kMssBytes));
+  }
+  net.scheduler().Run();
+
+  Port* nic = a->nic();
+  EXPECT_GT(nic->drops(), 0u);
+  EXPECT_EQ(sink.packets.size() + nic->drops(), 6u);
+  EXPECT_LE(nic->max_queue_bytes(), 3u * 1518u);
+}
+
+TEST(QueueTest, EcnMarkingAboveThreshold) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Switch* s = net.AddSwitch("s");
+  Host* b = net.AddHost("b");
+  LinkOptions opts;
+  opts.ecn_threshold_bytes = 2 * 1518;
+  net.Link(a, s, 10 * kGbps, 0, opts);  // fast ingress so the egress queues
+  net.Link(s, b, kGbps, 0, opts);
+  net.BuildRoutes();
+
+  SinkEndpoint sink(&net.scheduler());
+  b->RegisterEndpoint(1, &sink);
+
+  for (int i = 0; i < 8; ++i) {
+    auto pkt = MakeData(net, 1, a->id(), b->id(), kMssBytes);
+    pkt->ecn_capable = true;
+    a->Send(std::move(pkt));
+  }
+  net.scheduler().Run();
+
+  ASSERT_EQ(sink.packets.size(), 8u);
+  int marked = 0;
+  for (const auto& p : sink.packets) {
+    marked += p->ecn_ce ? 1 : 0;
+  }
+  // Early packets pass unmarked; once the switch egress queue exceeds 2
+  // frames, later packets get CE.
+  EXPECT_GT(marked, 0);
+  EXPECT_LT(marked, 8);
+  EXPECT_FALSE(sink.packets.front()->ecn_ce);
+}
+
+TEST(QueueTest, NonEcnCapablePacketsNeverMarked) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Switch* s = net.AddSwitch("s");
+  Host* b = net.AddHost("b");
+  LinkOptions opts;
+  opts.ecn_threshold_bytes = 1518;
+  net.Link(a, s, 10 * kGbps, 0, opts);
+  net.Link(s, b, kGbps, 0, opts);
+  net.BuildRoutes();
+
+  SinkEndpoint sink(&net.scheduler());
+  b->RegisterEndpoint(1, &sink);
+  for (int i = 0; i < 6; ++i) {
+    a->Send(MakeData(net, 1, a->id(), b->id(), kMssBytes));
+  }
+  net.scheduler().Run();
+  for (const auto& p : sink.packets) {
+    EXPECT_FALSE(p->ecn_ce);
+  }
+}
+
+TEST(RoutingTest, TestbedShortestPaths) {
+  Network net;
+  TestbedTopology topo = BuildTestbed(net);
+
+  // H1 (on NF1) -> H4 (on NF2) must traverse NF1 -> NF0 -> NF2.
+  SinkEndpoint sink(&net.scheduler());
+  topo.hosts[3]->RegisterEndpoint(1, &sink);
+  topo.hosts[0]->Send(
+      MakeData(net, 1, topo.hosts[0]->id(), topo.hosts[3]->id(), kMssBytes));
+  net.scheduler().Run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // 4 hops: H1->NF1->NF0->NF2->H4, each 12304 ns serialization + 5 us.
+  EXPECT_EQ(sink.arrival_times[0], 4 * (12304 + 5000));
+}
+
+TEST(RoutingTest, IntraRackPathIsTwoHops) {
+  Network net;
+  TestbedTopology topo = BuildTestbed(net);
+  SinkEndpoint sink(&net.scheduler());
+  topo.hosts[1]->RegisterEndpoint(1, &sink);
+  topo.hosts[0]->Send(
+      MakeData(net, 1, topo.hosts[0]->id(), topo.hosts[1]->id(), kMssBytes));
+  net.scheduler().Run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], 2 * (12304 + 5000));
+}
+
+TEST(RoutingTest, LeafSpineRoutesAcrossRacks) {
+  Network net;
+  LeafSpineTopology topo = BuildLeafSpine(net, 4, 3);
+  Host* src = topo.racks[0][0];
+  Host* dst = topo.racks[3][2];
+  SinkEndpoint sink(&net.scheduler());
+  dst->RegisterEndpoint(1, &sink);
+  src->Send(MakeData(net, 1, src->id(), dst->id(), kMssBytes));
+  net.scheduler().Run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  // Host->leaf (1G) + leaf->spine (10G) + spine->leaf (10G) + leaf->host (1G),
+  // each with 20 us propagation.
+  const TimeNs expect = 2 * (12304 + 20000) + 2 * (1230 + 20000);
+  EXPECT_EQ(sink.arrival_times[0], expect);
+}
+
+TEST(RoutingTest, UnroutablePacketCountsNotCrashes) {
+  Network net;
+  Host* a = net.AddHost("a");
+  Switch* s = net.AddSwitch("s");
+  net.Link(a, s, kGbps, 0);
+  net.BuildRoutes();
+  auto pkt = MakeData(net, 1, a->id(), 99, 100);  // bogus destination
+  pkt->dst = a->id();  // route back to sender: host has no endpoint for it
+  a->Send(std::move(pkt));
+  net.scheduler().Run();
+  // Delivered back to a, which has no endpoint registered for flow 1.
+  EXPECT_EQ(a->unroutable_packets(), 1u);
+}
+
+TEST(HostTest, ProcessingDelayPreservesPacketOrder) {
+  Network net(/*seed=*/123);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  net.Link(a, b, kGbps, 0);
+  net.BuildRoutes();
+  a->set_processing_delay(Microseconds(5), Microseconds(20));
+
+  SinkEndpoint sink(&net.scheduler());
+  b->RegisterEndpoint(1, &sink);
+  for (int i = 0; i < 50; ++i) {
+    auto pkt = MakeData(net, 1, a->id(), b->id(), 100);
+    pkt->seq = static_cast<uint64_t>(i);
+    a->Send(std::move(pkt));
+  }
+  net.scheduler().Run();
+  ASSERT_EQ(sink.packets.size(), 50u);
+  for (size_t i = 0; i < sink.packets.size(); ++i) {
+    EXPECT_EQ(sink.packets[i]->seq, i);  // no reordering
+  }
+  // And delay was actually applied.
+  EXPECT_GE(sink.arrival_times[0], Microseconds(5));
+}
+
+TEST(NetworkTest, FindPortLocatesDirectNeighbors) {
+  Network net;
+  MultiBottleneckTopology topo = BuildMultiBottleneck(net);
+  Port* p = Network::FindPort(topo.s1, topo.s2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->owner(), topo.s1);
+  EXPECT_EQ(p->peer(), topo.s2);
+  EXPECT_EQ(Network::FindPort(topo.h1, topo.s2), nullptr);
+}
+
+TEST(NetworkTest, SwitchBuffersUseSwitchLimitHostsUseHostLimit) {
+  Network net;
+  LinkOptions opts;
+  opts.switch_buffer_bytes = 512 * 1024;
+  opts.host_buffer_bytes = 1024 * 1024;
+  Host* a = net.AddHost("a");
+  Switch* s = net.AddSwitch("s");
+  Port* pa = net.Link(a, s, kGbps, 0, opts);
+  EXPECT_EQ(pa->buffer_limit(), 1024u * 1024u);
+  EXPECT_EQ(pa->peer_port()->buffer_limit(), 512u * 1024u);
+}
+
+}  // namespace
+}  // namespace tfc

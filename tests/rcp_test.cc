@@ -1,0 +1,171 @@
+// RCP baseline tests: rate stamping, control-loop convergence, and the
+// slow-convergence / flow-join weaknesses that motivate TFC.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/rcp/rcp.h"
+#include "src/sim/stats.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
+
+namespace tfc {
+namespace {
+
+struct RcpStar {
+  Network net{27};
+  StarTopology topo;
+
+  explicit RcpStar(int hosts) : topo(BuildStar(net, hosts, LinkOptions(), kGbps, Microseconds(20))) {
+    InstallRcpSwitches(net);
+  }
+};
+
+TEST(RcpTest, InstallsOnAllSwitchPorts) {
+  RcpStar s(4);
+  for (const auto& port : s.topo.sw->ports()) {
+    EXPECT_NE(RcpPortAgent::FromPort(port.get()), nullptr);
+  }
+  EXPECT_EQ(s.topo.hosts[0]->nic()->agent(), nullptr);
+}
+
+TEST(RcpTest, StampsPathMinimumRate) {
+  RcpStar s(3);
+  RcpPortAgent* agent =
+      RcpPortAgent::FromPort(Network::FindPort(s.topo.sw, s.topo.hosts[0]));
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.payload = kMssBytes;
+  pkt.rate_bps = 0;
+  agent->OnEgress(pkt);
+  EXPECT_EQ(pkt.rate_bps, static_cast<uint64_t>(agent->fair_rate_bps()));
+
+  Packet tighter;
+  tighter.type = PacketType::kData;
+  tighter.payload = kMssBytes;
+  tighter.rate_bps = 1000;  // upstream router allocated less
+  agent->OnEgress(tighter);
+  EXPECT_EQ(tighter.rate_bps, 1000u);
+}
+
+TEST(RcpTest, SingleFlowRampsToNearLineRate) {
+  RcpStar s(2);
+  PersistentFlow flow(
+      std::make_unique<RcpSender>(&s.net, s.topo.hosts[1], s.topo.hosts[0], RcpHostConfig()));
+  flow.Start();
+  s.net.scheduler().RunUntil(Milliseconds(200));
+  const uint64_t before = flow.delivered_bytes();
+  s.net.scheduler().RunUntil(Milliseconds(400));
+  const double bps = static_cast<double>(flow.delivered_bytes() - before) * 8.0 / 0.2;
+  EXPECT_GT(bps, 0.80e9);
+}
+
+TEST(RcpTest, FlowsShareFairly) {
+  RcpStar s(5);
+  std::vector<std::unique_ptr<PersistentFlow>> flows;
+  for (int i = 1; i <= 4; ++i) {
+    flows.push_back(std::make_unique<PersistentFlow>(std::make_unique<RcpSender>(
+        &s.net, s.topo.hosts[static_cast<size_t>(i)], s.topo.hosts[0], RcpHostConfig())));
+    flows.back()->Start();
+  }
+  s.net.scheduler().RunUntil(Milliseconds(300));
+  std::vector<uint64_t> base;
+  for (auto& f : flows) {
+    base.push_back(f->delivered_bytes());
+  }
+  s.net.scheduler().RunUntil(Milliseconds(600));
+  std::vector<double> rates;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    rates.push_back(static_cast<double>(flows[i]->delivered_bytes() - base[i]));
+  }
+  EXPECT_GT(JainFairness(rates), 0.95);
+}
+
+TEST(RcpTest, FairRateSignalNeedsManyControlIntervalsToSettle) {
+  // The property that motivates TFC (paper Sec. 3.1 / 7): RCP's allocation
+  // is a control loop over the *stale* fair rate, so after a flow joins the
+  // advertised rate takes many RTT-scale intervals to reach the new fair
+  // share (the overshoot meanwhile parks in the queue — see the next test).
+  // TFC recomputes the exact split within one slot.
+  RcpStar s(3);
+  PersistentFlow incumbent(std::make_unique<RcpSender>(&s.net, s.topo.hosts[1],
+                                                       s.topo.hosts[0], RcpHostConfig()));
+  incumbent.Start();
+  s.net.scheduler().RunUntil(Milliseconds(300));
+  RcpPortAgent* agent =
+      RcpPortAgent::FromPort(Network::FindPort(s.topo.sw, s.topo.hosts[0]));
+  // Steady state with one flow: R near line rate.
+  EXPECT_GT(agent->fair_rate_bps(), 0.7e9);
+
+  PersistentFlow joiner(std::make_unique<RcpSender>(&s.net, s.topo.hosts[2],
+                                                    s.topo.hosts[0], RcpHostConfig()));
+  joiner.Start();
+  const TimeNs t0 = s.net.scheduler().now();
+  const TimeNs rtt = Microseconds(170);  // base path RTT in this topology
+  TimeNs settle = -1;
+  int in_band = 0;
+  for (int step = 1; step <= 2000; ++step) {
+    s.net.scheduler().RunUntil(t0 + step * Microseconds(100));
+    const double r = agent->fair_rate_bps();
+    if (r > 0.375e9 && r < 0.625e9) {  // within 25% of C/2
+      if (++in_band == 5) {
+        settle = s.net.scheduler().now() - t0;
+        break;
+      }
+    } else {
+      in_band = 0;
+    }
+  }
+  ASSERT_GE(settle, 0) << "fair rate never settled";
+  // Slow relative to TFC's one-slot convergence: at least several RTTs.
+  EXPECT_GT(settle, 4 * rtt);
+}
+
+TEST(RcpTest, FlowJoinBuildsQueueUnlikeTfc) {
+  // RCP hands the newcomer the current fair rate while the incumbents still
+  // send at theirs: the overload parks in the buffer until the control loop
+  // reacts. TFC recomputes the split within a slot.
+  auto join_queue = [](bool use_tfc) {
+    Network net(33);
+    StarTopology topo = BuildStar(net, 6, LinkOptions(), kGbps, Microseconds(20));
+    if (use_tfc) {
+      InstallTfcSwitches(net);
+    } else {
+      InstallRcpSwitches(net);
+    }
+    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    auto add = [&](int host) {
+      std::unique_ptr<ReliableSender> s;
+      if (use_tfc) {
+        s = std::make_unique<TfcSender>(&net, topo.hosts[static_cast<size_t>(host)],
+                                        topo.hosts[0], TfcHostConfig());
+      } else {
+        s = std::make_unique<RcpSender>(&net, topo.hosts[static_cast<size_t>(host)],
+                                        topo.hosts[0], RcpHostConfig());
+      }
+      flows.push_back(std::make_unique<PersistentFlow>(std::move(s)));
+      flows.back()->Start();
+    };
+    add(1);
+    net.scheduler().RunUntil(Milliseconds(300));
+    Port* bottleneck = Network::FindPort(topo.sw, topo.hosts[0]);
+    bottleneck->ResetMaxQueue();
+    for (int h = 2; h <= 5; ++h) {
+      add(h);  // four joiners at once
+    }
+    net.scheduler().RunUntil(Milliseconds(350));
+    return bottleneck->max_queue_bytes();
+  };
+
+  const uint64_t tfc_queue = join_queue(true);
+  const uint64_t rcp_queue = join_queue(false);
+  EXPECT_GT(rcp_queue, 2 * tfc_queue);
+}
+
+}  // namespace
+}  // namespace tfc

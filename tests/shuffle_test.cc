@@ -1,0 +1,78 @@
+// Shuffle (all-to-all) workload tests across protocols and topologies.
+
+#include <gtest/gtest.h>
+
+#include "src/topo/topologies.h"
+#include "src/workload/shuffle.h"
+
+namespace tfc {
+namespace {
+
+TEST(ShuffleTest, CompletesAllPairTransfers) {
+  Network net(51);
+  StarTopology topo = BuildStar(net, 4);
+  ProtocolSuite suite;
+  suite.InstallSwitchLogic(net);
+  ShuffleConfig cfg;
+  cfg.block_bytes = 200'000;
+  ShuffleApp app(&net, suite, topo.hosts, cfg);
+  bool done = false;
+  app.on_finished = [&] { done = true; };
+  app.Start();
+  net.scheduler().RunUntil(Seconds(10));
+
+  EXPECT_TRUE(app.finished());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(app.flows_total(), 12u);  // 4*3 ordered pairs
+  for (const auto& f : app.flows()) {
+    EXPECT_EQ(f->delivered_bytes(), 200'000u);
+  }
+  EXPECT_GT(app.goodput_bps(), 0.0);
+}
+
+TEST(ShuffleTest, TfcShuffleIsLossFreeWhereTcpIsNot) {
+  auto run = [](Protocol p) {
+    ProtocolSuite suite;
+    suite.protocol = p;
+    Network net(53);
+    LinkOptions opts;
+    opts.switch_buffer_bytes = 128 * 1024;
+    opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+    StarTopology topo = BuildStar(net, 8, opts);
+    suite.InstallSwitchLogic(net);
+    ShuffleConfig cfg;
+    cfg.block_bytes = 500'000;
+    auto app = std::make_unique<ShuffleApp>(&net, suite, topo.hosts, cfg);
+    app->Start();
+    net.scheduler().RunUntil(Seconds(30));
+    EXPECT_TRUE(app->finished()) << ProtocolName(p) << " shuffle did not finish";
+    uint64_t drops = 0;
+    for (const auto& port : topo.sw->ports()) {
+      drops += port->drops();
+    }
+    return drops;
+  };
+
+  EXPECT_EQ(run(Protocol::kTfc), 0u);
+  EXPECT_GT(run(Protocol::kTcp), 0u);
+}
+
+TEST(ShuffleTest, RunsAcrossTheFatTreeWithEcmp) {
+  Network net(55);
+  FatTreeTopology topo = BuildFatTree(net, 4);
+  ProtocolSuite suite;
+  suite.InstallSwitchLogic(net);
+  // One participant per pod: all traffic is inter-pod.
+  std::vector<Host*> participants = {topo.host(0, 0), topo.host(1, 0), topo.host(2, 0),
+                                     topo.host(3, 0)};
+  ShuffleConfig cfg;
+  cfg.block_bytes = 300'000;
+  ShuffleApp app(&net, suite, participants, cfg);
+  app.Start();
+  net.scheduler().RunUntil(Seconds(10));
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(app.total_timeouts(), 0u);
+}
+
+}  // namespace
+}  // namespace tfc

@@ -1,0 +1,244 @@
+// Tests for the documented TFC extensions: weighted token allocation
+// (paper Sec. 4.1's "any allocation policies") and the token-adjustment
+// ablation switch.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
+
+namespace tfc {
+namespace {
+
+struct WeightedPair {
+  double rate_w1;
+  double rate_w;
+};
+
+// Two long flows share a 1 Gbps port; the second has the given weight.
+WeightedPair RunWeighted(uint8_t weight) {
+  Network net(77);
+  StarTopology topo = BuildStar(net, 3, LinkOptions(), kGbps, Microseconds(20));
+  InstallTfcSwitches(net);
+
+  TfcHostConfig plain;
+  TfcHostConfig weighted;
+  weighted.weight = weight;
+  PersistentFlow f1(std::make_unique<TfcSender>(&net, topo.hosts[1], topo.hosts[0], plain));
+  PersistentFlow f2(
+      std::make_unique<TfcSender>(&net, topo.hosts[2], topo.hosts[0], weighted));
+  f1.Start();
+  f2.Start();
+  net.scheduler().RunUntil(Milliseconds(150));
+  const uint64_t b1 = f1.delivered_bytes();
+  const uint64_t b2 = f2.delivered_bytes();
+  net.scheduler().RunUntil(Milliseconds(350));
+  return WeightedPair{static_cast<double>(f1.delivered_bytes() - b1),
+                      static_cast<double>(f2.delivered_bytes() - b2)};
+}
+
+TEST(TfcWeightedAllocationTest, EqualWeightsShareEqually) {
+  WeightedPair r = RunWeighted(1);
+  EXPECT_NEAR(r.rate_w / r.rate_w1, 1.0, 0.1);
+}
+
+TEST(TfcWeightedAllocationTest, DoubleWeightGetsDoubleShare) {
+  WeightedPair r = RunWeighted(2);
+  EXPECT_NEAR(r.rate_w / r.rate_w1, 2.0, 0.3);
+}
+
+TEST(TfcWeightedAllocationTest, QuadWeightGetsQuadShare) {
+  WeightedPair r = RunWeighted(4);
+  EXPECT_NEAR(r.rate_w / r.rate_w1, 4.0, 0.8);
+}
+
+TEST(TfcWeightedAllocationTest, TotalUtilizationUnaffectedByWeights) {
+  WeightedPair equal = RunWeighted(1);
+  WeightedPair skewed = RunWeighted(4);
+  const double total_equal = equal.rate_w1 + equal.rate_w;
+  const double total_skewed = skewed.rate_w1 + skewed.rate_w;
+  EXPECT_NEAR(total_skewed / total_equal, 1.0, 0.12);
+}
+
+TEST(TfcAblationTest, TokenAdjustmentCompensatesHostJitter) {
+  // Sec. 4.5's second motivation: rtt_b (a minimum) excludes the random
+  // host processing delay, so without the rho0/rho boost the token value
+  // undershoots the real pipeline and the link runs visibly below target.
+  auto run = [](bool adjust) {
+    Network net(78);
+    StarTopology topo = BuildStar(net, 5, LinkOptions(), kGbps, Microseconds(100));
+    for (Host* h : topo.hosts) {
+      // Large jitter relative to the ~450 us RTT: mean ~50 us per direction.
+      h->set_processing_delay(Microseconds(20), Microseconds(60));
+    }
+    TfcSwitchConfig sw;
+    sw.enable_token_adjustment = adjust;
+    InstallTfcSwitches(net, sw);
+    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    for (int i = 1; i <= 4; ++i) {
+      flows.push_back(std::make_unique<PersistentFlow>(std::make_unique<TfcSender>(
+          &net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0], TfcHostConfig())));
+      flows.back()->Start();
+    }
+    net.scheduler().RunUntil(Milliseconds(200));
+    uint64_t before = 0;
+    for (auto& f : flows) {
+      before += f->delivered_bytes();
+    }
+    net.scheduler().RunUntil(Milliseconds(500));
+    uint64_t after = 0;
+    for (auto& f : flows) {
+      after += f->delivered_bytes();
+    }
+    return static_cast<double>(after - before) * 8.0 / 0.3;
+  };
+
+  const double with_adjust = run(true);
+  const double without_adjust = run(false);
+  EXPECT_GT(with_adjust, 0.85e9);
+  // The boost recovers the few percent of capacity the jitter-depressed
+  // rtt_b leaves on the table.
+  EXPECT_LT(without_adjust, with_adjust * 0.97);
+}
+
+TEST(TfcAblationTest, WithoutDelayFunctionConcurrencyCausesDrops) {
+  // 80 concurrent flows at 1 Gbps: fair windows are far below one MSS.
+  // Without the Sec. 4.6 delay function every flow still sends at least one
+  // full frame per round, overrunning the port.
+  auto run = [](bool delay_fn) {
+    Network net(79);
+    LinkOptions opts;
+    opts.switch_buffer_bytes = 64 * 1024;  // tight buffer to expose the burst
+    TfcSwitchConfig sw;
+    sw.enable_delay_function = delay_fn;
+    StarTopology topo = BuildStar(net, 81, opts, kGbps, Microseconds(5));
+    InstallTfcSwitches(net, sw);
+    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    for (int i = 1; i <= 80; ++i) {
+      flows.push_back(std::make_unique<PersistentFlow>(std::make_unique<TfcSender>(
+          &net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0], TfcHostConfig())));
+      flows.back()->Start();
+    }
+    net.scheduler().RunUntil(Milliseconds(200));
+    return Network::FindPort(topo.sw, topo.hosts[0])->drops();
+  };
+
+  EXPECT_EQ(run(true), 0u);
+  EXPECT_GT(run(false), 0u);
+}
+
+// --- SYN/FIN flow counting (the strawman of paper Sec. 4.2) ---
+
+TEST(SynFinCountingTest, CountsHandshakesAtTheSwitch) {
+  Network net(80);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Switch* sw = net.AddSwitch("sw");
+  net.Link(a, sw, kGbps, Microseconds(5));
+  net.Link(sw, b, kGbps, Microseconds(5));
+  net.BuildRoutes();
+  TfcSwitchConfig config;
+  config.flow_count_mode = FlowCountMode::kSynFin;
+  InstallTfcSwitches(net, config);
+  TfcPortAgent* agent = TfcPortAgent::FromPort(Network::FindPort(sw, b));
+
+  // Two short flows overlap, then finish.
+  TfcSender f1(&net, a, b, TfcHostConfig());
+  TfcSender f2(&net, a, b, TfcHostConfig());
+  for (TfcSender* f : {&f1, &f2}) {
+    f->Write(100'000);
+    f->Close();
+    f->Start();
+  }
+  net.scheduler().RunUntil(Milliseconds(1));
+  EXPECT_EQ(agent->last_effective_flows(), 2);
+  net.scheduler().Run();
+  EXPECT_EQ(f1.delivered_bytes(), 100'000u);
+  EXPECT_EQ(f2.delivered_bytes(), 100'000u);
+}
+
+TEST(SynFinCountingTest, RetransmittedSynAccumulatesPermanentError) {
+  // Drop the first SYN: its retransmission is counted again, so the port
+  // believes two flows exist forever and halves the single flow's window —
+  // the cumulative-error argument for round-mark counting.
+  Network net(80);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Switch* sw = net.AddSwitch("sw");
+  net.Link(a, sw, kGbps, Microseconds(5));
+  net.Link(sw, b, kGbps, Microseconds(5));
+  net.BuildRoutes();
+  TfcSwitchConfig config;
+  config.flow_count_mode = FlowCountMode::kSynFin;
+  InstallTfcSwitches(net, config);
+  Port* egress = Network::FindPort(sw, b);
+  TfcPortAgent* agent = TfcPortAgent::FromPort(egress);
+  const uint64_t limit = egress->buffer_limit();
+
+  // Count the SYN at the switch, then lose it before delivery: shrink the
+  // buffer for the receiver-facing... the SYN is already past. Instead we
+  // emulate the paper's scenario directly: the SYN is counted by *this*
+  // switch and dropped at the *next* hop, so the sender retransmits.
+  // Here, with one switch, drop the SYNACK path instead by blocking the
+  // reverse direction briefly — the sender retransmits the SYN, and the
+  // switch counts it twice.
+  Port* reverse = Network::FindPort(sw, a);
+  const uint64_t rlimit = reverse->buffer_limit();
+  reverse->set_buffer_limit(10);  // SYNACK dropped
+  TfcHostConfig host;
+  host.transport.rto_min = Milliseconds(10);
+  PersistentFlow flow(std::make_unique<TfcSender>(&net, a, b, host));
+  flow.Start();
+  net.scheduler().RunUntil(Milliseconds(100));  // SYN retransmitted >= once
+  reverse->set_buffer_limit(rlimit);
+  egress->set_buffer_limit(limit);
+  net.scheduler().RunUntil(Milliseconds(300));
+
+  // The single flow is under-allocated forever: counted flows >= 2.
+  EXPECT_GE(agent->last_effective_flows(), 2);
+  const uint64_t d0 = flow.delivered_bytes();
+  net.scheduler().RunUntil(Milliseconds(500));
+  const double bps = static_cast<double>(flow.delivered_bytes() - d0) * 8.0 / 0.2;
+  EXPECT_LT(bps, 0.75e9);  // well under the ~0.92 Gbps it should get
+  // (the rho0/rho boost partially masks the error, bounded by its cap)
+}
+
+TEST(SynFinCountingTest, SilentFlowsKeepConsumingAllocation) {
+  // Round-mark counting hands a silent flow's share to the active ones;
+  // SYN/FIN counting cannot (the connection is open, so it stays counted).
+  auto active_share = [](FlowCountMode mode) {
+    Network net(81);
+    StarTopology topo = BuildStar(net, 6, LinkOptions(), kGbps, Microseconds(20));
+    TfcSwitchConfig config;
+    config.flow_count_mode = mode;
+    InstallTfcSwitches(net, config);
+    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    for (int i = 1; i <= 5; ++i) {
+      flows.push_back(std::make_unique<PersistentFlow>(std::make_unique<TfcSender>(
+          &net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0], TfcHostConfig())));
+      flows.back()->Start();
+    }
+    net.scheduler().RunUntil(Milliseconds(50));
+    for (int i = 1; i <= 4; ++i) {
+      flows[static_cast<size_t>(i)]->SetActive(false);  // 4 of 5 go silent
+    }
+    net.scheduler().RunUntil(Milliseconds(150));
+    const uint64_t d0 = flows[0]->delivered_bytes();
+    net.scheduler().RunUntil(Milliseconds(350));
+    return static_cast<double>(flows[0]->delivered_bytes() - d0) * 8.0 / 0.2;
+  };
+
+  const double with_marks = active_share(FlowCountMode::kRoundMarks);
+  const double with_synfin = active_share(FlowCountMode::kSynFin);
+  EXPECT_GT(with_marks, 0.80e9);             // sole active flow takes the link
+  EXPECT_LT(with_synfin, with_marks * 0.5);  // stuck near 1/5 of the link
+}
+
+}  // namespace
+}  // namespace tfc

@@ -1,0 +1,364 @@
+// Unit tests for the TFC switch port agent, driving it with synthetic
+// packets: slot machinery, effective-flow counting, token adjustment,
+// window stamping, delimiter failover, and the delay arbiter.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/tfc/switch_port.h"
+
+namespace tfc {
+namespace {
+
+// Minimal fixture: a <- sw -> b, TFC agent on the sw->b (data egress) port.
+class TfcPortFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(TfcSwitchConfig()); }
+
+  void Build(const TfcSwitchConfig& config) {
+    net_ = std::make_unique<Network>(3);
+    a_ = net_->AddHost("a");
+    b_ = net_->AddHost("b");
+    sw_ = net_->AddSwitch("sw");
+    net_->Link(a_, sw_, kGbps, Microseconds(5));
+    net_->Link(sw_, b_, kGbps, Microseconds(5));
+    net_->BuildRoutes();
+    egress_ = Network::FindPort(sw_, b_);
+    egress_->set_agent(std::make_unique<TfcPortAgent>(sw_, egress_, config));
+    agent_ = TfcPortAgent::FromPort(egress_);
+  }
+
+  Packet MakeData(int flow, uint32_t payload, bool rm) {
+    Packet pkt;
+    pkt.uid = net_->AllocatePacketUid();
+    pkt.flow_id = flow;
+    pkt.src = a_->id();
+    pkt.dst = b_->id();
+    pkt.type = PacketType::kData;
+    pkt.payload = payload;
+    pkt.rm = rm;
+    return pkt;
+  }
+
+  PacketPtr MakeRmaAck(int flow, uint32_t window) {
+    auto pkt = std::make_unique<Packet>();
+    pkt->uid = net_->AllocatePacketUid();
+    pkt->flow_id = flow;
+    pkt->src = b_->id();
+    pkt->dst = a_->id();
+    pkt->type = PacketType::kAck;
+    pkt->rma = true;
+    pkt->window = window;
+    return pkt;
+  }
+
+  void Advance(TimeNs dt) { net_->scheduler().RunUntil(net_->scheduler().now() + dt); }
+
+  std::unique_ptr<Network> net_;
+  Host* a_ = nullptr;
+  Host* b_ = nullptr;
+  Switch* sw_ = nullptr;
+  Port* egress_ = nullptr;
+  TfcPortAgent* agent_ = nullptr;
+};
+
+TEST_F(TfcPortFixture, InitialTokenIsOneInitialBdp) {
+  // c * initial_rttb = 1 Gbps * 160 us = 20 KB.
+  EXPECT_NEAR(agent_->token_bytes(), 20'000.0, 1.0);
+  EXPECT_EQ(agent_->rtt_b(), Microseconds(160));
+  EXPECT_FALSE(agent_->has_window());
+}
+
+TEST_F(TfcPortFixture, FirstRmPacketBecomesDelimiter) {
+  Packet p = MakeData(7, kMssBytes, /*rm=*/true);
+  agent_->OnEgress(p);
+  EXPECT_EQ(agent_->delimiter_flow(), 7);
+  EXPECT_EQ(agent_->slots_completed(), 0u);
+}
+
+TEST_F(TfcPortFixture, SlotEndsOnSecondDelimiterMarkAndComputesWindow) {
+  Packet p1 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p1);
+  Advance(Microseconds(100));
+  Packet p2 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p2);
+
+  EXPECT_EQ(agent_->slots_completed(), 1u);
+  EXPECT_TRUE(agent_->has_window());
+  EXPECT_EQ(agent_->rtt_m(), Microseconds(100));
+  // E was 1 (only the delimiter) so W == T.
+  EXPECT_DOUBLE_EQ(agent_->window_bytes(), agent_->token_bytes());
+  EXPECT_EQ(agent_->last_effective_flows(), 1);
+}
+
+TEST_F(TfcPortFixture, EffectiveFlowsCountRoundMarksPerSlot) {
+  Packet d = MakeData(1, kMssBytes, true);
+  agent_->OnEgress(d);
+  // Three other flows mark once each; unmarked packets don't count.
+  for (int flow = 2; flow <= 4; ++flow) {
+    Packet p = MakeData(flow, kMssBytes, true);
+    agent_->OnEgress(p);
+    Packet q = MakeData(flow, kMssBytes, false);
+    agent_->OnEgress(q);
+  }
+  Advance(Microseconds(100));
+  Packet end = MakeData(1, kMssBytes, true);
+  agent_->OnEgress(end);
+
+  EXPECT_EQ(agent_->last_effective_flows(), 4);
+  EXPECT_NEAR(agent_->window_bytes(), agent_->token_bytes() / 4.0, 1.0);
+}
+
+TEST_F(TfcPortFixture, RttbOnlyLearnsFromFullSizeFrames) {
+  Packet p1 = MakeData(7, 0, true);  // small probe starts the slot
+  agent_->OnEgress(p1);
+  Advance(Microseconds(50));
+  Packet p2 = MakeData(7, 0, true);  // small probe ends it: no rttb update
+  agent_->OnEgress(p2);
+  EXPECT_EQ(agent_->rtt_b(), Microseconds(160));
+
+  Advance(Microseconds(80));
+  Packet p3 = MakeData(7, kMssBytes, true);  // full frame: rttb learns 80 us
+  agent_->OnEgress(p3);
+  EXPECT_EQ(agent_->rtt_b(), Microseconds(80));
+
+  Advance(Microseconds(200));
+  Packet p4 = MakeData(7, kMssBytes, true);  // larger sample: min keeps 80 us
+  agent_->OnEgress(p4);
+  EXPECT_EQ(agent_->rtt_b(), Microseconds(80));
+}
+
+TEST_F(TfcPortFixture, StampsConservativeWindowBeforeFirstSlot) {
+  Packet p = MakeData(9, kMssBytes, false);
+  agent_->OnEgress(p);
+  // Just under one frame until the port learns: below the arbiter quantum,
+  // so bootstrap grants are paced rather than released all at once.
+  EXPECT_EQ(p.window, kMtuFrameBytes - 1);
+}
+
+TEST_F(TfcPortFixture, StampsMinimumOfCarriedAndComputedWindow) {
+  // Complete a slot to get a window.
+  Packet p1 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p1);
+  Advance(Microseconds(100));
+  Packet p2 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p2);
+  const uint32_t w = static_cast<uint32_t>(agent_->window_bytes());
+
+  Packet fresh = MakeData(8, kMssBytes, false);
+  agent_->OnEgress(fresh);
+  EXPECT_EQ(fresh.window, w);
+
+  Packet tighter = MakeData(8, kMssBytes, false);
+  tighter.window = w / 2;  // an upstream switch allocated less
+  agent_->OnEgress(tighter);
+  EXPECT_EQ(tighter.window, w / 2);
+}
+
+TEST_F(TfcPortFixture, TokenBoostsWhenLinkUnderutilized) {
+  // Slot with almost no traffic: rho tiny => target boosted, EWMA moves T up.
+  Packet p1 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p1);
+  const double t0 = agent_->token_bytes();
+  Advance(Microseconds(500));
+  Packet p2 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p2);
+  EXPECT_GT(agent_->token_bytes(), t0);
+}
+
+TEST_F(TfcPortFixture, TokenStaysBoundedUnderRepeatedIdleSlots) {
+  Packet first = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(first);
+  for (int i = 0; i < 50; ++i) {
+    Advance(Microseconds(200));
+    Packet p = MakeData(7, kMssBytes, true);
+    agent_->OnEgress(p);
+  }
+  // Cap: token_boost_cap (4) * c * rtt_b. rtt_b has converged to 200 us.
+  const double bdp = 1e9 / 8.0 * 200e-6;
+  EXPECT_LE(agent_->token_bytes(), 4.0 * bdp + 1.0);
+  EXPECT_GT(agent_->token_bytes(), 0.0);
+}
+
+TEST_F(TfcPortFixture, DelimiterFinTriggersReelection) {
+  Packet p1 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p1);
+  Packet fin = MakeData(7, 0, false);
+  fin.type = PacketType::kFin;
+  agent_->OnEgress(fin);
+
+  // The next RM packet (from another flow) becomes the delimiter.
+  Packet p2 = MakeData(8, kMssBytes, true);
+  agent_->OnEgress(p2);
+  EXPECT_EQ(agent_->delimiter_flow(), 8);
+}
+
+TEST_F(TfcPortFixture, SilentDelimiterIsReplacedAfterBackoff) {
+  Packet p1 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p1);
+  Advance(Microseconds(100));
+  Packet p2 = MakeData(7, kMssBytes, true);
+  agent_->OnEgress(p2);
+  ASSERT_EQ(agent_->delimiter_flow(), 7);
+
+  // Flow 7 goes silent; flow 8 keeps marking. After 2*rtt_last of silence
+  // the failover fires and flow 8's next mark is adopted.
+  for (int i = 0; i < 10; ++i) {
+    Advance(Microseconds(100));
+    Packet p = MakeData(8, kMssBytes, true);
+    agent_->OnEgress(p);
+    if (agent_->delimiter_flow() == 8) {
+      break;
+    }
+  }
+  EXPECT_EQ(agent_->delimiter_flow(), 8);
+}
+
+TEST_F(TfcPortFixture, MissExponentSurvivesAdoptionUntilSuccessfulSlot) {
+  // Regression test: when the true round interval exceeds 2^k * rtt_last,
+  // each adopted delimiter is deposed before completing a slot. The backoff
+  // must keep growing across adoptions so a slot eventually completes.
+  Packet p1 = MakeData(1, kMssBytes, true);
+  agent_->OnEgress(p1);
+  Advance(Microseconds(50));
+  Packet p2 = MakeData(1, kMssBytes, true);
+  agent_->OnEgress(p2);  // slot completes; rtt_last = 50 us
+  ASSERT_EQ(agent_->slots_completed(), 1u);
+
+  // Now every flow marks only every 700 us (>> 2 * 50 us). Round-robin the
+  // marking flow so re-elections keep landing on "fresh" flows.
+  uint64_t slots_before = agent_->slots_completed();
+  for (int i = 0; i < 40; ++i) {
+    Advance(Microseconds(700));
+    Packet p = MakeData(2 + (i % 3), kMssBytes, true);
+    agent_->OnEgress(p);
+  }
+  EXPECT_GT(agent_->slots_completed(), slots_before);
+}
+
+// --- delay arbiter ---
+
+TEST_F(TfcPortFixture, FullWindowRmaPassesImmediately) {
+  PacketPtr ack = MakeRmaAck(5, 3 * kMtuFrameBytes);
+  Packet* raw = ack.get();
+  EXPECT_TRUE(agent_->OnReverse(ack));
+  EXPECT_EQ(raw->window, 3 * kMtuFrameBytes);  // untouched
+  EXPECT_EQ(agent_->delayed_acks(), 0u);
+}
+
+TEST_F(TfcPortFixture, SubMssRmaUpgradedWhenCounterAffords) {
+  PacketPtr ack = MakeRmaAck(5, 200);
+  Packet* raw = ack.get();
+  EXPECT_TRUE(agent_->OnReverse(ack));  // counter starts at its cap
+  EXPECT_EQ(raw->window, kMtuFrameBytes);
+}
+
+TEST_F(TfcPortFixture, SubMssRmaParkedWhenCounterExhausted) {
+  // Drain the counter with two immediate upgrades (cap = 2 quanta)...
+  for (int i = 0; i < 2; ++i) {
+    PacketPtr ack = MakeRmaAck(5, 200);
+    ASSERT_TRUE(agent_->OnReverse(ack));
+  }
+  // ...so the third is parked.
+  PacketPtr ack = MakeRmaAck(6, 200);
+  EXPECT_FALSE(agent_->OnReverse(ack));
+  EXPECT_EQ(agent_->delayed_acks(), 1u);
+  EXPECT_EQ(agent_->delay_queue_length(), 1u);
+
+  // After ~quantum/(rho0*c) the parked ACK is released toward the sender
+  // upgraded to one MSS.
+  net_->scheduler().Run();
+  EXPECT_EQ(agent_->delay_queue_length(), 0u);
+}
+
+TEST_F(TfcPortFixture, ParkedAcksReleaseAtTargetRate) {
+  // Park a burst of 20 sub-MSS RMAs and measure the drain time: it must be
+  // about quantum / (rho0 * c) per ACK.
+  int forwarded = 0;
+  std::vector<PacketPtr> parked;
+  for (int i = 0; i < 22; ++i) {
+    PacketPtr ack = MakeRmaAck(100 + i, 200);
+    if (agent_->OnReverse(ack)) {
+      ++forwarded;  // the first two consume the counter cap
+    }
+  }
+  EXPECT_EQ(forwarded, 2);
+  EXPECT_EQ(agent_->delay_queue_length(), 20u);
+
+  const TimeNs start = net_->scheduler().now();
+  net_->scheduler().Run();
+  const double elapsed_us = ToMicroseconds(net_->scheduler().now() - start);
+  // 20 quanta at rho0*c(wire-adjusted) ~= 20 * 12.69 us ~= 254 us.
+  EXPECT_GT(elapsed_us, 200.0);
+  EXPECT_LT(elapsed_us, 320.0);
+}
+
+TEST_F(TfcPortFixture, NonRmaTrafficIgnoredByArbiter) {
+  auto data = std::make_unique<Packet>();
+  data->flow_id = 1;
+  data->src = b_->id();
+  data->dst = a_->id();
+  data->type = PacketType::kData;
+  data->payload = 100;
+  EXPECT_TRUE(agent_->OnReverse(data));
+
+  auto plain = MakeRmaAck(1, 200);
+  plain->rma = false;
+  EXPECT_TRUE(agent_->OnReverse(plain));
+}
+
+TEST_F(TfcPortFixture, ArbiterFailsOpenAtQueueLimit) {
+  TfcSwitchConfig config;
+  config.delay_queue_limit = 4;
+  Build(config);
+  int parked = 0;
+  int passed = 0;
+  for (int i = 0; i < 20; ++i) {
+    PacketPtr ack = MakeRmaAck(i, 200);
+    Packet* raw = ack.get();
+    if (agent_->OnReverse(ack)) {
+      ++passed;
+      EXPECT_EQ(raw->window, kMtuFrameBytes);
+    } else {
+      ++parked;
+    }
+  }
+  EXPECT_EQ(parked, 4);
+  EXPECT_EQ(passed, 16);
+  net_->scheduler().Run();  // parked ones still drain
+  EXPECT_EQ(agent_->delay_queue_length(), 0u);
+}
+
+TEST_F(TfcPortFixture, DelayFunctionCanBeDisabled) {
+  TfcSwitchConfig config;
+  config.enable_delay_function = false;
+  Build(config);
+  for (int i = 0; i < 10; ++i) {
+    PacketPtr ack = MakeRmaAck(i, 200);
+    Packet* raw = ack.get();
+    EXPECT_TRUE(agent_->OnReverse(ack));
+    EXPECT_EQ(raw->window, 200u);  // untouched
+  }
+  EXPECT_EQ(agent_->delayed_acks(), 0u);
+}
+
+TEST_F(TfcPortFixture, InstallAttachesAgentsToAllSwitchPorts) {
+  Network net(1);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Switch* s1 = net.AddSwitch("s1");
+  Switch* s2 = net.AddSwitch("s2");
+  net.Link(a, s1, kGbps, 0);
+  net.Link(s1, s2, kGbps, 0);
+  net.Link(s2, b, kGbps, 0);
+  net.BuildRoutes();
+  EXPECT_EQ(InstallTfcSwitches(net), 4);
+  EXPECT_NE(TfcPortAgent::FromPort(Network::FindPort(s1, s2)), nullptr);
+  EXPECT_NE(TfcPortAgent::FromPort(Network::FindPort(s2, b)), nullptr);
+  EXPECT_EQ(a->nic()->agent(), nullptr);  // hosts get none
+}
+
+}  // namespace
+}  // namespace tfc

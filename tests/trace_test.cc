@@ -1,0 +1,131 @@
+// Packet-tracing tests: event coverage, conservation identities between
+// event counts, text formatting, and flow filtering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/net/network.h"
+#include "src/net/trace.h"
+#include "src/tcp/tcp.h"
+
+namespace tfc {
+namespace {
+
+struct TracedDumbbell {
+  Network net{13};
+  Host* a;
+  Host* b;
+  Switch* s;
+
+  explicit TracedDumbbell(LinkOptions opts = LinkOptions()) {
+    a = net.AddHost("a");
+    b = net.AddHost("b");
+    s = net.AddSwitch("s");
+    net.Link(a, s, kGbps, Microseconds(5), opts);
+    net.Link(s, b, kGbps, Microseconds(5), opts);
+    net.BuildRoutes();
+  }
+};
+
+TEST(TraceTest, CountsBalanceOnLosslessRun) {
+  TracedDumbbell d;
+  CountingTracer tracer;
+  d.net.set_tracer(&tracer);
+
+  TcpSender flow(&d.net, d.a, d.b, TcpConfig());
+  flow.Write(500'000);
+  flow.Close();
+  flow.Start();
+  d.net.scheduler().Run();
+
+  EXPECT_GT(tracer.enqueues, 0u);
+  EXPECT_EQ(tracer.drops, 0u);
+  // Lossless: everything enqueued was transmitted.
+  EXPECT_EQ(tracer.enqueues, tracer.transmits);
+  // Every host delivery corresponds to a final-hop transmit; forward path
+  // has two hops (NIC + switch) and the reverse ACK path two as well, so
+  // transmits = 2 * delivers exactly in this topology.
+  EXPECT_EQ(tracer.transmits, 2 * tracer.delivers);
+}
+
+TEST(TraceTest, DropsAreTraced) {
+  LinkOptions opts;
+  opts.switch_buffer_bytes = 4 * 1518;
+  TracedDumbbell d(opts);
+  // A second sender makes the switch egress contend.
+  Host* a2 = d.net.AddHost("a2");
+  d.net.Link(a2, d.s, kGbps, Microseconds(5), opts);
+  d.net.BuildRoutes();
+
+  CountingTracer tracer;
+  d.net.set_tracer(&tracer);
+  TcpSender f1(&d.net, d.a, d.b, TcpConfig());
+  TcpSender f2(&d.net, a2, d.b, TcpConfig());
+  f1.Write(2'000'000);
+  f2.Write(2'000'000);
+  f1.Start();
+  f2.Start();
+  d.net.scheduler().RunUntil(Milliseconds(200));
+
+  Port* bottleneck = Network::FindPort(d.s, d.b);
+  EXPECT_EQ(tracer.drops, bottleneck->drops() + d.a->nic()->drops() + a2->nic()->drops());
+  EXPECT_GT(tracer.drops, 0u);
+  EXPECT_EQ(tracer.enqueues, tracer.transmits + bottleneck->queue_bytes() / 1518);
+}
+
+TEST(TraceTest, TextFormatContainsTheEssentials) {
+  TracedDumbbell d;
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  d.net.set_tracer(&tracer);
+
+  TcpSender flow(&d.net, d.a, d.b, TcpConfig());
+  flow.Write(kMssBytes);
+  flow.Close();
+  flow.Start();
+  d.net.scheduler().Run();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("SYN"), std::string::npos);
+  EXPECT_NE(text.find("DATA"), std::string::npos);
+  EXPECT_NE(text.find("FINACK"), std::string::npos);
+  EXPECT_NE(text.find("len=1460"), std::string::npos);
+  EXPECT_NE(text.find("+ a:p0"), std::string::npos);  // NIC enqueue
+  EXPECT_GT(tracer.events_written(), 10u);
+}
+
+TEST(TraceTest, FlowFilterSelectsOneFlow) {
+  TracedDumbbell d;
+  TcpSender f1(&d.net, d.a, d.b, TcpConfig());
+  TcpSender f2(&d.net, d.a, d.b, TcpConfig());
+
+  std::ostringstream out;
+  TextTracer tracer(&out, /*flow_filter=*/f2.flow_id());
+  d.net.set_tracer(&tracer);
+  for (TcpSender* f : {&f1, &f2}) {
+    f->Write(10'000);
+    f->Close();
+    f->Start();
+  }
+  d.net.scheduler().Run();
+
+  const std::string needle1 = "f=" + std::to_string(f1.flow_id());
+  const std::string needle2 = "f=" + std::to_string(f2.flow_id());
+  EXPECT_EQ(out.str().find(needle1), std::string::npos);
+  EXPECT_NE(out.str().find(needle2), std::string::npos);
+}
+
+TEST(TraceTest, NoTracerMeansNoOverheadPathStillWorks) {
+  TracedDumbbell d;
+  EXPECT_EQ(d.net.tracer(), nullptr);
+  TcpSender flow(&d.net, d.a, d.b, TcpConfig());
+  flow.Write(100'000);
+  flow.Close();
+  flow.Start();
+  d.net.scheduler().Run();
+  EXPECT_EQ(flow.delivered_bytes(), 100'000u);
+}
+
+}  // namespace
+}  // namespace tfc

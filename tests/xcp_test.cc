@@ -1,0 +1,140 @@
+// XCP baseline tests: feedback stamping, efficiency/fairness controllers,
+// and the gradual-convergence behaviour that motivates TFC.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/stats.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
+#include "src/xcp/xcp.h"
+
+namespace tfc {
+namespace {
+
+struct XcpStar {
+  Network net{47};
+  StarTopology topo;
+
+  explicit XcpStar(int hosts)
+      : topo(BuildStar(net, hosts, LinkOptions(), kGbps, Microseconds(20))) {
+    InstallXcpSwitches(net);
+  }
+};
+
+TEST(XcpTest, InstallsOnSwitchPortsOnly) {
+  XcpStar s(3);
+  for (const auto& port : s.topo.sw->ports()) {
+    EXPECT_NE(XcpPortAgent::FromPort(port.get()), nullptr);
+  }
+  EXPECT_EQ(s.topo.hosts[0]->nic()->agent(), nullptr);
+}
+
+TEST(XcpTest, KeepsMostRestrictiveFeedbackAlongPath) {
+  XcpStar s(3);
+  XcpPortAgent* agent =
+      XcpPortAgent::FromPort(Network::FindPort(s.topo.sw, s.topo.hosts[0]));
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.payload = kMssBytes;
+  pkt.cwnd_hint = 10 * kMssBytes;
+  pkt.rtt_hint = Microseconds(100);
+  pkt.xcp_feedback = -5000.0;  // an upstream router already throttled hard
+  pkt.xcp_feedback_set = true;
+  agent->OnEgress(pkt);
+  EXPECT_LE(pkt.xcp_feedback, -5000.0);  // can only become more restrictive
+  EXPECT_TRUE(pkt.xcp_feedback_set);
+}
+
+TEST(XcpTest, SingleFlowReachesHighUtilization) {
+  XcpStar s(2);
+  PersistentFlow flow(std::make_unique<XcpSender>(&s.net, s.topo.hosts[1],
+                                                  s.topo.hosts[0], XcpHostConfig()));
+  flow.Start();
+  s.net.scheduler().RunUntil(Milliseconds(150));
+  const uint64_t before = flow.delivered_bytes();
+  s.net.scheduler().RunUntil(Milliseconds(350));
+  const double bps = static_cast<double>(flow.delivered_bytes() - before) * 8.0 / 0.2;
+  EXPECT_GT(bps, 0.80e9);
+}
+
+TEST(XcpTest, FlowsConvergeToFairWindows) {
+  XcpStar s(5);
+  std::vector<std::unique_ptr<PersistentFlow>> flows;
+  std::vector<XcpSender*> senders;
+  for (int i = 1; i <= 4; ++i) {
+    auto sender = std::make_unique<XcpSender>(&s.net, s.topo.hosts[static_cast<size_t>(i)],
+                                              s.topo.hosts[0], XcpHostConfig());
+    senders.push_back(sender.get());
+    flows.push_back(std::make_unique<PersistentFlow>(std::move(sender)));
+    flows.back()->Start();
+  }
+  s.net.scheduler().RunUntil(Milliseconds(300));
+  std::vector<double> cwnds;
+  for (XcpSender* snd : senders) {
+    cwnds.push_back(snd->cwnd_bytes());
+  }
+  EXPECT_GT(JainFairness(cwnds), 0.97);
+  // And the queue stays small (XCP's efficiency controller drains it).
+  EXPECT_LT(Network::FindPort(s.topo.sw, s.topo.hosts[0])->queue_bytes(), 20'000u);
+  EXPECT_EQ(Network::FindPort(s.topo.sw, s.topo.hosts[0])->drops(), 0u);
+}
+
+TEST(XcpTest, WindowEvolvesGraduallyUnlikeTfcOneShotAllocation) {
+  // XCP's window moves by per-RTT feedback increments: starting from one
+  // MSS, a flow needs multiple control intervals to reach its share.
+  XcpStar s(2);
+  auto sender = std::make_unique<XcpSender>(&s.net, s.topo.hosts[1], s.topo.hosts[0],
+                                            XcpHostConfig());
+  XcpSender* raw = sender.get();
+  PersistentFlow flow(std::move(sender));
+  flow.Start();
+  // After ~2 RTTs the window is still a fraction of its eventual value...
+  s.net.scheduler().RunUntil(Microseconds(300));
+  const double early = raw->cwnd_bytes();
+  // ...and grows over subsequent control intervals (a TFC flow would hold
+  // its full window after the first slot).
+  s.net.scheduler().RunUntil(Milliseconds(100));
+  const double late = raw->cwnd_bytes();
+  EXPECT_GT(late, 8'000.0);
+  EXPECT_LT(early, 0.6 * late);
+}
+
+TEST(XcpTest, DhatTracksTrafficRtt) {
+  XcpStar s(2);
+  PersistentFlow flow(std::make_unique<XcpSender>(&s.net, s.topo.hosts[1],
+                                                  s.topo.hosts[0], XcpHostConfig()));
+  flow.Start();
+  s.net.scheduler().RunUntil(Milliseconds(100));
+  XcpPortAgent* agent =
+      XcpPortAgent::FromPort(Network::FindPort(s.topo.sw, s.topo.hosts[0]));
+  // Base path RTT is ~106 us in this topology (full-size data frames one
+  // way, small ACKs back); d-hat must have left its 160 us default and
+  // settled around it.
+  EXPECT_GT(agent->dhat(), Microseconds(80));
+  EXPECT_LT(agent->dhat(), Microseconds(200));
+}
+
+TEST(XcpTest, RecoversAfterPathBreak) {
+  XcpStar s(2);
+  PersistentFlow flow(std::make_unique<XcpSender>(&s.net, s.topo.hosts[1],
+                                                  s.topo.hosts[0], XcpHostConfig()));
+  flow.Start();
+  s.net.scheduler().RunUntil(Milliseconds(50));
+  Port* egress = Network::FindPort(s.topo.sw, s.topo.hosts[0]);
+  const uint64_t limit = egress->buffer_limit();
+  egress->set_buffer_limit(10);
+  s.net.scheduler().RunUntil(Milliseconds(300));  // RTOs, cwnd collapses
+  egress->set_buffer_limit(limit);
+  s.net.scheduler().RunUntil(Milliseconds(800));
+  const uint64_t before = flow.delivered_bytes();
+  s.net.scheduler().RunUntil(Milliseconds(1000));
+  const double bps = static_cast<double>(flow.delivered_bytes() - before) * 8.0 / 0.2;
+  EXPECT_GT(bps, 0.5e9);  // back in business
+}
+
+}  // namespace
+}  // namespace tfc

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tfc.cc" "bench/CMakeFiles/ablation_tfc.dir/ablation_tfc.cc.o" "gcc" "bench/CMakeFiles/ablation_tfc.dir/ablation_tfc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tfc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dctcp/CMakeFiles/tfc_dctcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tfc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfc/CMakeFiles/tfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcp/CMakeFiles/tfc_rcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/xcp/CMakeFiles/tfc_xcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tfc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tfc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

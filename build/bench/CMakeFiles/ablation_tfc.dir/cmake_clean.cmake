@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tfc.dir/ablation_tfc.cc.o"
+  "CMakeFiles/ablation_tfc.dir/ablation_tfc.cc.o.d"
+  "ablation_tfc"
+  "ablation_tfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_rcp.dir/baseline_rcp.cc.o"
+  "CMakeFiles/baseline_rcp.dir/baseline_rcp.cc.o.d"
+  "baseline_rcp"
+  "baseline_rcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_rcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_multipath.dir/beyond_multipath.cc.o"
+  "CMakeFiles/beyond_multipath.dir/beyond_multipath.cc.o.d"
+  "beyond_multipath"
+  "beyond_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

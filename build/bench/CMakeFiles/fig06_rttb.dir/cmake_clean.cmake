@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rttb.dir/fig06_rttb.cc.o"
+  "CMakeFiles/fig06_rttb.dir/fig06_rttb.cc.o.d"
+  "fig06_rttb"
+  "fig06_rttb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rttb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

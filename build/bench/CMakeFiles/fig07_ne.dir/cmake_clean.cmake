@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ne.dir/fig07_ne.cc.o"
+  "CMakeFiles/fig07_ne.dir/fig07_ne.cc.o.d"
+  "fig07_ne"
+  "fig07_ne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_goodput.dir/fig09_goodput.cc.o"
+  "CMakeFiles/fig09_goodput.dir/fig09_goodput.cc.o.d"
+  "fig09_goodput"
+  "fig09_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_workconserving.dir/fig11_workconserving.cc.o"
+  "CMakeFiles/fig11_workconserving.dir/fig11_workconserving.cc.o.d"
+  "fig11_workconserving"
+  "fig11_workconserving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_workconserving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

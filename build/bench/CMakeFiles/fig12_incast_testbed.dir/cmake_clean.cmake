@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_incast_testbed.dir/fig12_incast_testbed.cc.o"
+  "CMakeFiles/fig12_incast_testbed.dir/fig12_incast_testbed.cc.o.d"
+  "fig12_incast_testbed"
+  "fig12_incast_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_incast_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

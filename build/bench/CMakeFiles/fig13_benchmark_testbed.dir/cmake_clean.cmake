@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_benchmark_testbed.dir/fig13_benchmark_testbed.cc.o"
+  "CMakeFiles/fig13_benchmark_testbed.dir/fig13_benchmark_testbed.cc.o.d"
+  "fig13_benchmark_testbed"
+  "fig13_benchmark_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_benchmark_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

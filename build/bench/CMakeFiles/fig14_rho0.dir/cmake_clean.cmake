@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rho0.dir/fig14_rho0.cc.o"
+  "CMakeFiles/fig14_rho0.dir/fig14_rho0.cc.o.d"
+  "fig14_rho0"
+  "fig14_rho0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rho0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

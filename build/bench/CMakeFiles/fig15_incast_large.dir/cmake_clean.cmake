@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_incast_large.dir/fig15_incast_large.cc.o"
+  "CMakeFiles/fig15_incast_large.dir/fig15_incast_large.cc.o.d"
+  "fig15_incast_large"
+  "fig15_incast_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_incast_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_benchmark_large.dir/fig16_benchmark_large.cc.o"
+  "CMakeFiles/fig16_benchmark_large.dir/fig16_benchmark_large.cc.o.d"
+  "fig16_benchmark_large"
+  "fig16_benchmark_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_benchmark_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

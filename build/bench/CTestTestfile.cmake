@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_ablation_tfc "/root/repo/build/bench/ablation_tfc" "--quick")
+set_tests_properties(bench_smoke_ablation_tfc PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;14;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_baseline_rcp "/root/repo/build/bench/baseline_rcp" "--quick")
+set_tests_properties(bench_smoke_baseline_rcp PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;15;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_beyond_multipath "/root/repo/build/bench/beyond_multipath" "--quick")
+set_tests_properties(bench_smoke_beyond_multipath PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;16;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig06_rttb "/root/repo/build/bench/fig06_rttb" "--quick")
+set_tests_properties(bench_smoke_fig06_rttb PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;17;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig07_ne "/root/repo/build/bench/fig07_ne" "--quick")
+set_tests_properties(bench_smoke_fig07_ne PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;18;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig08_queue "/root/repo/build/bench/fig08_queue" "--quick")
+set_tests_properties(bench_smoke_fig08_queue PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;19;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig09_goodput "/root/repo/build/bench/fig09_goodput" "--quick")
+set_tests_properties(bench_smoke_fig09_goodput PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;20;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10_convergence "/root/repo/build/bench/fig10_convergence" "--quick")
+set_tests_properties(bench_smoke_fig10_convergence PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;21;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_workconserving "/root/repo/build/bench/fig11_workconserving" "--quick")
+set_tests_properties(bench_smoke_fig11_workconserving PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;22;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12_incast_testbed "/root/repo/build/bench/fig12_incast_testbed" "--quick")
+set_tests_properties(bench_smoke_fig12_incast_testbed PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;23;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig13_benchmark_testbed "/root/repo/build/bench/fig13_benchmark_testbed" "--quick")
+set_tests_properties(bench_smoke_fig13_benchmark_testbed PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;24;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig14_rho0 "/root/repo/build/bench/fig14_rho0" "--quick")
+set_tests_properties(bench_smoke_fig14_rho0 PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;25;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig15_incast_large "/root/repo/build/bench/fig15_incast_large" "--quick")
+set_tests_properties(bench_smoke_fig15_incast_large PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;26;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig16_benchmark_large "/root/repo/build/bench/fig16_benchmark_large" "--quick")
+set_tests_properties(bench_smoke_fig16_benchmark_large PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;10;add_test;/root/repo/bench/CMakeLists.txt;27;tfc_add_bench;/root/repo/bench/CMakeLists.txt;0;")

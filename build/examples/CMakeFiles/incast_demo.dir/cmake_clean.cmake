@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_demo.dir/incast_demo.cpp.o"
+  "CMakeFiles/incast_demo.dir/incast_demo.cpp.o.d"
+  "incast_demo"
+  "incast_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_onoff.dir/storm_onoff.cpp.o"
+  "CMakeFiles/storm_onoff.dir/storm_onoff.cpp.o.d"
+  "storm_onoff"
+  "storm_onoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_onoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfcsim.dir/tfcsim.cpp.o"
+  "CMakeFiles/tfcsim.dir/tfcsim.cpp.o.d"
+  "tfcsim"
+  "tfcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

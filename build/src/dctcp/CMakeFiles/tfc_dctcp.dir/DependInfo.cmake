@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcp/dctcp.cc" "src/dctcp/CMakeFiles/tfc_dctcp.dir/dctcp.cc.o" "gcc" "src/dctcp/CMakeFiles/tfc_dctcp.dir/dctcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/tfc_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tfc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_dctcp.dir/dctcp.cc.o"
+  "CMakeFiles/tfc_dctcp.dir/dctcp.cc.o.d"
+  "libtfc_dctcp.a"
+  "libtfc_dctcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

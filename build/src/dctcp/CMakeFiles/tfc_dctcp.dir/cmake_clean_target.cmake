@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfc_dctcp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/tfc_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/tfc_net.dir/host.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/tfc_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/tfc_net.dir/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/tfc_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/tfc_net.dir/node.cc.o.d"
+  "/root/repo/src/net/port.cc" "src/net/CMakeFiles/tfc_net.dir/port.cc.o" "gcc" "src/net/CMakeFiles/tfc_net.dir/port.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/net/CMakeFiles/tfc_net.dir/switch.cc.o" "gcc" "src/net/CMakeFiles/tfc_net.dir/switch.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/tfc_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/tfc_net.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

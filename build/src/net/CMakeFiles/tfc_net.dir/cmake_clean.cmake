@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_net.dir/host.cc.o"
+  "CMakeFiles/tfc_net.dir/host.cc.o.d"
+  "CMakeFiles/tfc_net.dir/network.cc.o"
+  "CMakeFiles/tfc_net.dir/network.cc.o.d"
+  "CMakeFiles/tfc_net.dir/node.cc.o"
+  "CMakeFiles/tfc_net.dir/node.cc.o.d"
+  "CMakeFiles/tfc_net.dir/port.cc.o"
+  "CMakeFiles/tfc_net.dir/port.cc.o.d"
+  "CMakeFiles/tfc_net.dir/switch.cc.o"
+  "CMakeFiles/tfc_net.dir/switch.cc.o.d"
+  "CMakeFiles/tfc_net.dir/trace.cc.o"
+  "CMakeFiles/tfc_net.dir/trace.cc.o.d"
+  "libtfc_net.a"
+  "libtfc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

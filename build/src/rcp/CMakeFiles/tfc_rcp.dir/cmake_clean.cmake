@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_rcp.dir/rcp.cc.o"
+  "CMakeFiles/tfc_rcp.dir/rcp.cc.o.d"
+  "libtfc_rcp.a"
+  "libtfc_rcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_rcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_tcp.dir/tcp.cc.o"
+  "CMakeFiles/tfc_tcp.dir/tcp.cc.o.d"
+  "libtfc_tcp.a"
+  "libtfc_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

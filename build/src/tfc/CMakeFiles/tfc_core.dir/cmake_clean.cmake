@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_core.dir/endpoints.cc.o"
+  "CMakeFiles/tfc_core.dir/endpoints.cc.o.d"
+  "CMakeFiles/tfc_core.dir/switch_port.cc.o"
+  "CMakeFiles/tfc_core.dir/switch_port.cc.o.d"
+  "libtfc_core.a"
+  "libtfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_topo.dir/topologies.cc.o"
+  "CMakeFiles/tfc_topo.dir/topologies.cc.o.d"
+  "libtfc_topo.a"
+  "libtfc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfc_topo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/reliable_receiver.cc" "src/transport/CMakeFiles/tfc_transport.dir/reliable_receiver.cc.o" "gcc" "src/transport/CMakeFiles/tfc_transport.dir/reliable_receiver.cc.o.d"
+  "/root/repo/src/transport/reliable_sender.cc" "src/transport/CMakeFiles/tfc_transport.dir/reliable_sender.cc.o" "gcc" "src/transport/CMakeFiles/tfc_transport.dir/reliable_sender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tfc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_transport.dir/reliable_receiver.cc.o"
+  "CMakeFiles/tfc_transport.dir/reliable_receiver.cc.o.d"
+  "CMakeFiles/tfc_transport.dir/reliable_sender.cc.o"
+  "CMakeFiles/tfc_transport.dir/reliable_sender.cc.o.d"
+  "libtfc_transport.a"
+  "libtfc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_workload.dir/benchmark_traffic.cc.o"
+  "CMakeFiles/tfc_workload.dir/benchmark_traffic.cc.o.d"
+  "CMakeFiles/tfc_workload.dir/incast.cc.o"
+  "CMakeFiles/tfc_workload.dir/incast.cc.o.d"
+  "CMakeFiles/tfc_workload.dir/shuffle.cc.o"
+  "CMakeFiles/tfc_workload.dir/shuffle.cc.o.d"
+  "libtfc_workload.a"
+  "libtfc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_xcp.dir/xcp.cc.o"
+  "CMakeFiles/tfc_xcp.dir/xcp.cc.o.d"
+  "libtfc_xcp.a"
+  "libtfc_xcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_xcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

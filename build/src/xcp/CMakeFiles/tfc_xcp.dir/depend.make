@@ -1,0 +1,2 @@
+# Empty dependencies file for tfc_xcp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delayed_ack_test.dir/delayed_ack_test.cc.o"
+  "CMakeFiles/delayed_ack_test.dir/delayed_ack_test.cc.o.d"
+  "delayed_ack_test"
+  "delayed_ack_test.pdb"
+  "delayed_ack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delayed_ack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

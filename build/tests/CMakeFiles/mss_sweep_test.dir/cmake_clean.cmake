@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mss_sweep_test.dir/mss_sweep_test.cc.o"
+  "CMakeFiles/mss_sweep_test.dir/mss_sweep_test.cc.o.d"
+  "mss_sweep_test"
+  "mss_sweep_test.pdb"
+  "mss_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mss_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newreno_unit_test.dir/newreno_unit_test.cc.o"
+  "CMakeFiles/newreno_unit_test.dir/newreno_unit_test.cc.o.d"
+  "newreno_unit_test"
+  "newreno_unit_test.pdb"
+  "newreno_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newreno_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcp_test.dir/rcp_test.cc.o"
+  "CMakeFiles/rcp_test.dir/rcp_test.cc.o.d"
+  "rcp_test"
+  "rcp_test.pdb"
+  "rcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_e2e_test.dir/tfc_e2e_test.cc.o"
+  "CMakeFiles/tfc_e2e_test.dir/tfc_e2e_test.cc.o.d"
+  "tfc_e2e_test"
+  "tfc_e2e_test.pdb"
+  "tfc_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

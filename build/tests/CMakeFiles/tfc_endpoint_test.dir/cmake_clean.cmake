@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_endpoint_test.dir/tfc_endpoint_test.cc.o"
+  "CMakeFiles/tfc_endpoint_test.dir/tfc_endpoint_test.cc.o.d"
+  "tfc_endpoint_test"
+  "tfc_endpoint_test.pdb"
+  "tfc_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

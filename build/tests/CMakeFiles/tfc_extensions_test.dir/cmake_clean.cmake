@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_extensions_test.dir/tfc_extensions_test.cc.o"
+  "CMakeFiles/tfc_extensions_test.dir/tfc_extensions_test.cc.o.d"
+  "tfc_extensions_test"
+  "tfc_extensions_test.pdb"
+  "tfc_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

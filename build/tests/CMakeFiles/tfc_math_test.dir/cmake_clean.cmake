@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_math_test.dir/tfc_math_test.cc.o"
+  "CMakeFiles/tfc_math_test.dir/tfc_math_test.cc.o.d"
+  "tfc_math_test"
+  "tfc_math_test.pdb"
+  "tfc_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

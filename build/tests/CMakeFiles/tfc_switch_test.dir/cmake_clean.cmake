@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfc_switch_test.dir/tfc_switch_test.cc.o"
+  "CMakeFiles/tfc_switch_test.dir/tfc_switch_test.cc.o.d"
+  "tfc_switch_test"
+  "tfc_switch_test.pdb"
+  "tfc_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfc_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

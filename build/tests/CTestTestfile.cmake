@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/dctcp_test[1]_include.cmake")
+include("/root/repo/build/tests/tfc_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/tfc_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tfc_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/tfc_endpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/reassembly_test[1]_include.cmake")
+include("/root/repo/build/tests/rcp_test[1]_include.cmake")
+include("/root/repo/build/tests/ecmp_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/delayed_ack_test[1]_include.cmake")
+include("/root/repo/build/tests/xcp_test[1]_include.cmake")
+include("/root/repo/build/tests/shuffle_test[1]_include.cmake")
+include("/root/repo/build/tests/tfc_math_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/mss_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/newreno_unit_test[1]_include.cmake")

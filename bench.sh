@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Entry point for the performance trajectory (mirrors repro.sh for figures):
+# builds the optimized benchmark binary and refreshes BENCH_core.json.
+# See docs/perf.md for how to read the results.
+exec "$(dirname "$0")/bench/run_bench.sh" "$@"

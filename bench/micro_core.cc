@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "src/net/network.h"
+#include "src/net/packet_pool.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
 #include "src/tfc/endpoints.h"
 #include "src/tfc/switch_port.h"
 #include "src/topo/topologies.h"
 #include "src/workload/benchmark_traffic.h"
+#include "src/workload/incast.h"
 #include "src/workload/persistent_flow.h"
 
 namespace tfc {
@@ -52,6 +54,41 @@ void BM_SchedulerCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerCancel);
+
+// Cancel of an event that has already fired (the common case after the
+// indexed-heap rewrite made it a guaranteed no-op rather than a tombstone).
+void BM_SchedulerCancelFired(benchmark::State& state) {
+  Scheduler sched;
+  std::vector<Scheduler::EventId> ids;
+  ids.reserve(1024);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ids.clear();
+    for (int i = 0; i < 1024; ++i) {
+      ids.push_back(sched.ScheduleAfter(i, [] {}));
+    }
+    sched.Run();
+    state.ResumeTiming();
+    for (auto id : ids) {
+      benchmark::DoNotOptimize(sched.Cancel(id));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SchedulerCancelFired);
+
+void BM_PacketPoolAllocRelease(benchmark::State& state) {
+  PacketPool pool;
+  for (auto _ : state) {
+    PacketPtr a = pool.Allocate();
+    PacketPtr b = pool.Allocate();
+    benchmark::DoNotOptimize(a.get());
+    benchmark::DoNotOptimize(b.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["pool_high_water"] = static_cast<double>(pool.high_water());
+}
+BENCHMARK(BM_PacketPoolAllocRelease);
 
 void BM_TfcOnEgressDataPath(benchmark::State& state) {
   Network net(1);
@@ -118,6 +155,45 @@ BENCHMARK(BM_EndToEndSimulation)
     ->Arg(static_cast<int>(Protocol::kDctcp))
     ->Arg(static_cast<int>(Protocol::kTfc))
     ->Unit(benchmark::kMillisecond);
+
+// End-to-end macro-bench: simulated scheduler events per wall second for a
+// TFC incast on the paper's testbed topology (Fig. 4 shape, Fig. 12
+// workload). items_per_second here IS the simulator's events/sec figure
+// recorded in BENCH_core.json; later PRs are measured against it.
+void BM_IncastTestbedEventsPerSec(benchmark::State& state) {
+  uint64_t events = 0;
+  double pool_hits = 0;
+  double pool_misses = 0;
+  double pool_high_water = 0;
+  for (auto _ : state) {
+    ProtocolSuite suite;
+    suite.protocol = Protocol::kTfc;
+    Network net(3);
+    LinkOptions opts;
+    opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+    TestbedTopology topo = BuildTestbed(net, opts);
+    suite.InstallSwitchLogic(net);
+    std::vector<Host*> senders(topo.hosts.begin() + 1, topo.hosts.end());
+    IncastConfig cfg;
+    cfg.block_bytes = 64 * 1024;
+    cfg.rounds = 20;
+    IncastApp app(&net, suite, topo.hosts[0], senders, cfg);
+    app.Start();
+    net.scheduler().RunUntil(Seconds(2));
+    events += net.scheduler().executed();
+    pool_hits += static_cast<double>(net.packet_pool().hits());
+    pool_misses += static_cast<double>(net.packet_pool().misses());
+    pool_high_water = std::max(
+        pool_high_water, static_cast<double>(net.packet_pool().high_water()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["pool_hits"] = pool_hits / iters;
+  state.counters["pool_misses"] = pool_misses / iters;
+  state.counters["pool_high_water"] = pool_high_water;
+  state.SetLabel("tfc incast 8->1, 64KB x20 rounds, testbed topo");
+}
+BENCHMARK(BM_IncastTestbedEventsPerSec)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tfc

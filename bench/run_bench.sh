@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Benchmark trajectory harness: builds micro_core with optimization and
+# writes BENCH_core.json at the repo root — {bench_name: {items_per_sec,
+# ns_per_op}} — the numbers successive PRs are measured against.
+#
+# Usage: bench/run_bench.sh [--quick] [benchmark_filter_regex]
+#   --quick   single repetition (default: 3 repetitions, mean reported)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REPS=3
+FILTER='.'
+for arg in "$@"; do
+  case "$arg" in
+    --quick) REPS=1 ;;
+    *) FILTER="$arg" ;;
+  esac
+done
+
+if command -v cmake >/dev/null && cmake --list-presets >/dev/null 2>&1; then
+  cmake --preset release >/dev/null
+else
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+fi
+cmake --build build -j --target micro_core >/dev/null
+
+RAW=$(mktemp /tmp/micro_core_bench.XXXXXX.json)
+trap 'rm -f "$RAW"' EXIT
+
+ARGS=(--benchmark_format=json "--benchmark_out=$RAW" "--benchmark_filter=$FILTER")
+if [ "$REPS" -gt 1 ]; then
+  ARGS+=("--benchmark_repetitions=$REPS" --benchmark_report_aggregates_only=true)
+fi
+./build/bench/micro_core "${ARGS[@]}"
+
+if ! [ -s "$RAW" ]; then
+  echo "error: no benchmarks matched filter '$FILTER'" >&2
+  exit 1
+fi
+if [ "$FILTER" != '.' ]; then
+  echo "note: filter active — BENCH_core.json will contain only matching benchmarks" >&2
+fi
+
+python3 bench/to_json.py "$RAW" BENCH_core.json
+echo
+echo "wrote $(pwd)/BENCH_core.json:"
+python3 - <<'EOF'
+import json
+for name, e in sorted(json.load(open("BENCH_core.json")).items()):
+    ips = e.get("items_per_sec")
+    ips_s = f"{ips:12.3e} items/s" if ips is not None else " " * 20
+    print(f"  {name:45s} {ips_s}  {e['ns_per_op']:12.1f} ns/op")
+EOF

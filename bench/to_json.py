@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output into the BENCH trajectory format.
+
+Usage: to_json.py <benchmark_out.json> <BENCH_core.json>
+
+The output is a flat {bench_name: {"items_per_sec": float, "ns_per_op": float}}
+map, one entry per benchmark, so successive PRs can diff a stable, minimal
+schema. When repetitions are enabled only the *_mean aggregate rows are kept
+(under their base name); otherwise the raw rows are used as-is.
+"""
+
+import json
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def convert(raw):
+    rows = raw["benchmarks"]
+    has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
+    out = {}
+    for r in rows:
+        if has_aggregates:
+            if r.get("aggregate_name") != "mean":
+                continue
+            name = r["name"].removesuffix("_mean")
+        else:
+            if r.get("run_type") == "aggregate":
+                continue
+            name = r["name"]
+        entry = {}
+        if "items_per_second" in r:
+            entry["items_per_sec"] = r["items_per_second"]
+        entry["ns_per_op"] = r["real_time"] * _TIME_UNIT_NS[r.get("time_unit", "ns")]
+        # Carry user counters (pool stats etc.) through for the record.
+        for key, value in r.items():
+            if key.startswith("pool_"):
+                entry[key] = value
+        out[name] = entry
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+    with open(sys.argv[2], "w") as f:
+        json.dump(convert(raw), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

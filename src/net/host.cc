@@ -1,5 +1,7 @@
 #include "src/net/host.h"
 
+#include <utility>
+
 #include "src/net/network.h"
 #include "src/sim/check.h"
 
@@ -38,9 +40,10 @@ void Host::Send(PacketPtr pkt) {
     depart = last_departure_;
   }
   last_departure_ = depart;
-  Packet* raw = pkt.release();
   Port* nic_port = nic();
-  sched.ScheduleAt(depart, [nic_port, raw] { nic_port->Enqueue(PacketPtr(raw)); });
+  sched.ScheduleAt(depart, [nic_port, pkt = std::move(pkt)]() mutable {
+    nic_port->Enqueue(std::move(pkt));
+  });
 }
 
 void Host::RegisterEndpoint(int flow_id, Endpoint* ep) {

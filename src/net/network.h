@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/net/host.h"
+#include "src/net/packet_pool.h"
 #include "src/net/switch.h"
 #include "src/net/trace.h"
 #include "src/sim/random.h"
@@ -64,6 +65,18 @@ class Network {
   int AllocateFlowId() { return next_flow_id_++; }
   uint64_t AllocatePacketUid() { return next_packet_uid_++; }
 
+  // Draws a recycled packet from the pool with a fresh uid; all other
+  // fields are default-initialized. This is the allocation path every
+  // transport send and ACK goes through.
+  PacketPtr AllocatePacket() {
+    PacketPtr pkt = packet_pool_.Allocate();
+    pkt->uid = next_packet_uid_++;
+    return pkt;
+  }
+
+  PacketPool& packet_pool() { return packet_pool_; }
+  const PacketPool& packet_pool() const { return packet_pool_; }
+
   // Packet-level tracing: the tracer (not owned) sees every enqueue,
   // transmit, drop, and delivery. Null disables tracing (the default).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
@@ -79,6 +92,10 @@ class Network {
   static Port* FindPort(Node* a, Node* b);
 
  private:
+  // Declared before the scheduler and nodes so it is destroyed after them:
+  // pending events and port queues may hold PacketPtrs whose deleters
+  // release into this pool.
+  PacketPool packet_pool_;
   Scheduler scheduler_;
   Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;

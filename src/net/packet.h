@@ -102,7 +102,25 @@ struct Packet {
   }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+// Packets are pool-recycled (src/net/packet_pool.h): PacketPtr carries a
+// deleter that returns the packet to its pool instead of freeing it. A
+// null pool (the default, and what plain std::make_unique<Packet>() yields
+// via the implicit conversion below) falls back to `delete`, so tests and
+// tools can keep constructing loose packets.
+class PacketPool;
+
+struct PacketDeleter {
+  PacketPool* pool = nullptr;
+
+  constexpr PacketDeleter() noexcept = default;
+  explicit constexpr PacketDeleter(PacketPool* p) noexcept : pool(p) {}
+  // Lets std::unique_ptr<Packet> convert to PacketPtr.
+  constexpr PacketDeleter(std::default_delete<Packet>) noexcept {}  // NOLINT
+
+  void operator()(Packet* p) const;  // defined in packet_pool.cc
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 inline const char* PacketTypeName(PacketType t) {
   switch (t) {

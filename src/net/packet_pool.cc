@@ -1,0 +1,13 @@
+#include "src/net/packet_pool.h"
+
+namespace tfc {
+
+void PacketDeleter::operator()(Packet* p) const {
+  if (pool != nullptr) {
+    pool->Release(p);
+  } else {
+    delete p;
+  }
+}
+
+}  // namespace tfc

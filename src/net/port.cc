@@ -1,5 +1,7 @@
 #include "src/net/port.h"
 
+#include <utility>
+
 #include "src/net/network.h"
 #include "src/net/node.h"
 #include "src/sim/check.h"
@@ -71,13 +73,12 @@ void Port::OnSerialized() {
   busy_ = false;
   owner_->network()->EmitTrace(TraceEventType::kTransmit, *pkt, owner_, this);
 
-  // Deliver to the peer after propagation. Capture the raw pointer pieces we
-  // need; the Network owns nodes for the whole simulation lifetime.
+  // Deliver to the peer after propagation; the packet rides inside the
+  // event. The Network owns nodes for the whole simulation lifetime.
   Node* peer = peer_node_;
   Port* ingress = peer_port_;
-  Packet* raw = pkt.release();
-  scheduler_->ScheduleAfter(prop_delay_, [peer, ingress, raw] {
-    peer->Receive(PacketPtr(raw), ingress);
+  scheduler_->ScheduleAfter(prop_delay_, [peer, ingress, pkt = std::move(pkt)]() mutable {
+    peer->Receive(std::move(pkt), ingress);
   });
 
   TryTransmit();

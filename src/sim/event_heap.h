@@ -1,0 +1,267 @@
+// Indexed d-ary timer heap.
+//
+// A 4-ary min-heap over (time, seq) with a slot index, so cancelling an
+// event is a true O(log n) removal instead of the classic lazy-tombstone
+// scheme. Retransmission timers are cancelled on nearly every ACK, so a
+// tombstone set grows with every RTT of every flow; here a cancel physically
+// removes the entry and the heap never holds more than the live event count.
+//
+// Handles are (slab index, generation) pairs: firing or removing an event
+// bumps its slab record's generation, so a stale handle — including a
+// cancel of an already-fired event — is detected exactly and is a no-op.
+//
+// Layout notes, because this structure is the single hottest data path in
+// the simulator (sifting a 100k-event heap is memory-bound, so every byte
+// moved per level counts):
+//   - heap slots are 16 bytes: (time, record id). The FIFO tie-break seq
+//     lives in the record's Meta entry and is read only when two times
+//     compare equal, so the common-case sift touches half the bytes a
+//     (time, seq, rec) slot would;
+//   - the slot array is allocated 64-byte aligned with the base offset so
+//     that a node's four children (indices 4i+1..4i+4) share exactly one
+//     cache line — one miss per level instead of up to two;
+//   - Pop uses Floyd's hole-sinking: the root hole sinks to a leaf on
+//     child-vs-child compares only (3 per level instead of 4), then the
+//     displaced last element — which almost always belongs near the bottom
+//     — bubbles up a step or less;
+//   - the back-index is a per-record Meta array ((seq, heap pos, gen)), so
+//     the per-level position writebacks during sifting stay cache-dense;
+//     when a record is free, the pos word threads the free list;
+//   - callbacks sit in their own chunked slab with stable addresses,
+//     touched exactly once on push and once on pop/remove — never during
+//     sifting, and never relocated on growth (growing a flat vector of
+//     callables would re-run every move constructor through an indirect
+//     call, which dominated cold-start cost in profiling). Chunks are
+//     default-initialized: value-initializing would memset the whole
+//     chunk's callable storage on every capacity step.
+// The 4-ary fanout halves tree depth vs binary and, with the alignment
+// above, costs one cache line per level.
+
+#ifndef SRC_SIM_EVENT_HEAP_H_
+#define SRC_SIM_EVENT_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+
+template <typename Callback>
+class EventHeap {
+ public:
+  struct Handle {
+    uint32_t index = kNullIndex;
+    uint32_t gen = 0;
+    bool valid() const { return index != kNullIndex; }
+  };
+
+  EventHeap() = default;
+  EventHeap(const EventHeap&) = delete;
+  EventHeap& operator=(const EventHeap&) = delete;
+  ~EventHeap() {
+    // Chunks are raw storage; every record < meta_.size() holds a
+    // constructed Callback (possibly empty) that must be destroyed.
+    for (uint32_t rec = 0; rec < meta_.size(); ++rec) {
+      CbAt(rec).~Callback();
+    }
+    ::operator delete(raw_, std::align_val_t{kLineBytes});
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  // Key of the earliest event; heap must be non-empty.
+  TimeNs top_time() const { return slots_[0].time; }
+
+  // Inserts an event. `seq` is the FIFO tie-break for equal times and must
+  // be unique and increasing across Push calls. `f` is any callable the
+  // Callback type accepts; it is constructed directly in the callback slab
+  // (no intermediate Callback object, no extra move).
+  template <typename F>
+  Handle Push(TimeNs time, uint64_t seq, F&& f) {
+    uint32_t rec;
+    if (free_head_ != kNullIndex) {
+      rec = free_head_;
+      free_head_ = meta_[rec].pos_or_next_free;
+    } else {
+      rec = static_cast<uint32_t>(meta_.size());
+      if ((rec >> kChunkShift) == cb_chunks_.size()) {
+        // Raw storage: entries are constructed lazily on first use, so a
+        // new chunk costs one allocation, not an 80KB initialization sweep.
+        cb_chunks_.emplace_back(new unsigned char[kChunkBytes]);
+      }
+      meta_.push_back(Meta{});
+      ::new (static_cast<void*>(&CbAt(rec))) Callback();
+    }
+    CbAt(rec).Assign(std::forward<F>(f));
+    meta_[rec].seq = seq;
+    if (size_ == cap_) {
+      GrowSlots();
+    }
+    const uint32_t pos = size_++;
+    SiftUp(pos, Slot{time, rec, 0});
+    return Handle{rec, meta_[rec].gen};
+  }
+
+  // Removes the event named by `h` if it is still pending. Returns false
+  // for invalid, already-fired, or already-removed handles.
+  bool Remove(Handle h) {
+    if (!h.valid() || h.index >= meta_.size() || meta_[h.index].gen != h.gen) {
+      return false;
+    }
+    const uint32_t pos = meta_[h.index].pos_or_next_free;
+    TFC_DCHECK(pos < size_ && slots_[pos].rec == h.index);
+    CbAt(h.index) = Callback();  // destroy the callable eagerly
+    FreeRecord(h.index);
+    FillHole(pos);
+    return true;
+  }
+
+  // Pops the earliest event, returning its callback and writing its time.
+  Callback Pop(TimeNs* time) {
+    TFC_DCHECK(size_ > 0);
+    const uint32_t rec = slots_[0].rec;
+    *time = slots_[0].time;
+    Callback cb = std::move(CbAt(rec));  // leaves the slab entry empty
+    FreeRecord(rec);
+    FillHole(0);
+    return cb;
+  }
+
+ private:
+  static constexpr uint32_t kNullIndex = 0xffffffffu;
+  static constexpr uint32_t kArity = 4;
+  static constexpr size_t kLineBytes = 64;
+  static constexpr uint32_t kChunkShift = 10;  // 1024 callbacks per chunk
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr uint32_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kChunkBytes = size_t{kChunkSize} * sizeof(Callback);
+
+  struct Slot {
+    TimeNs time;
+    uint32_t rec;
+    uint32_t pad;
+  };
+  static_assert(sizeof(Slot) == 16 && std::is_trivially_copyable_v<Slot>);
+
+  // Back-index entry. `pos_or_next_free` is the heap position while the
+  // record is live and the free-list link while it is free; the generation
+  // disambiguates the two states for stale handles. `seq` is the FIFO
+  // tie-break, kept here (not in the heap slot) because it is only read on
+  // equal-time compares.
+  struct Meta {
+    uint64_t seq;
+    uint32_t pos_or_next_free;
+    uint32_t gen;
+  };
+
+  Callback& CbAt(uint32_t rec) {
+    unsigned char* chunk = cb_chunks_[rec >> kChunkShift].get();
+    return *reinterpret_cast<Callback*>(
+        chunk + size_t{rec & kChunkMask} * sizeof(Callback));
+  }
+
+  bool SlotBefore(const Slot& a, const Slot& b) const {
+    return a.time != b.time ? a.time < b.time
+                            : meta_[a.rec].seq < meta_[b.rec].seq;
+  }
+
+  void FreeRecord(uint32_t rec) {
+    Meta& m = meta_[rec];
+    ++m.gen;
+    m.pos_or_next_free = free_head_;
+    free_head_ = rec;
+  }
+
+  // Grows the slot array, keeping `slots_` offset inside the 64B-aligned
+  // allocation so child groups (4i+1..4i+4, 16 bytes each) start on cache
+  // lines. Slots are trivially copyable, so growth is a single memcpy.
+  void GrowSlots() {
+    const uint32_t new_cap = cap_ != 0 ? cap_ * 2 : 256;
+    void* raw = ::operator new(
+        static_cast<size_t>(new_cap) * sizeof(Slot) + kLineBytes,
+        std::align_val_t{kLineBytes});
+    Slot* slots = reinterpret_cast<Slot*>(static_cast<unsigned char*>(raw) +
+                                          (kLineBytes - sizeof(Slot)));
+    if (size_ != 0) {
+      std::memcpy(slots, slots_, static_cast<size_t>(size_) * sizeof(Slot));
+    }
+    ::operator delete(raw_, std::align_val_t{kLineBytes});
+    raw_ = raw;
+    slots_ = slots;
+    cap_ = new_cap;
+  }
+
+  // Removes the element at `pos`: Floyd's hole-sinking. The hole sinks to a
+  // leaf along the min-child path (child-vs-child compares only), then the
+  // displaced last element bubbles up from the leaf. Works for the root
+  // (Pop) and interior holes (Remove) alike — sift-up is globally valid, so
+  // no restore-direction bookkeeping is needed.
+  void FillHole(uint32_t pos) {
+    --size_;
+    if (pos == size_) {
+      return;  // the hole was the last element
+    }
+    for (;;) {
+      const uint32_t first_child = pos * kArity + 1;
+      if (first_child >= size_) {
+        break;
+      }
+      const uint32_t end = std::min(first_child + kArity, size_);
+      uint32_t best = first_child;
+      for (uint32_t c = first_child + 1; c < end; ++c) {
+        if (SlotBefore(slots_[c], slots_[best])) {
+          best = c;
+        }
+      }
+      slots_[pos] = slots_[best];
+      meta_[slots_[pos].rec].pos_or_next_free = pos;
+      pos = best;
+    }
+    SiftUp(pos, slots_[size_]);
+  }
+
+  // Bubbles `moving` up from `pos` and writes it (and its back-index) into
+  // its final position.
+  void SiftUp(uint32_t pos, Slot moving) {
+    const TimeNs t = moving.time;
+    const uint64_t s = meta_[moving.rec].seq;
+    while (pos > 0) {
+      const uint32_t parent = (pos - 1) / kArity;
+      const Slot& p = slots_[parent];
+      const bool less = t != p.time ? t < p.time : s < meta_[p.rec].seq;
+      if (!less) {
+        break;
+      }
+      slots_[pos] = p;
+      meta_[slots_[pos].rec].pos_or_next_free = pos;
+      pos = parent;
+    }
+    slots_[pos] = moving;
+    meta_[moving.rec].pos_or_next_free = pos;
+  }
+
+  // 16-byte slots in a 64B-aligned buffer; element 1 starts a cache line,
+  // so each 4-child group occupies exactly one line.
+  Slot* slots_ = nullptr;
+  void* raw_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t cap_ = 0;
+  std::vector<Meta> meta_;  // record -> (seq, heap position / free link, gen)
+  // record -> callable, in address-stable raw-storage chunks; untouched by
+  // sifting. Alignment: operator new[] returns max_align_t-aligned memory
+  // and sizeof(Callback) is a multiple of its alignment.
+  std::vector<std::unique_ptr<unsigned char[]>> cb_chunks_;
+  uint32_t free_head_ = kNullIndex;
+};
+
+}  // namespace tfc
+
+#endif  // SRC_SIM_EVENT_HEAP_H_

@@ -5,31 +5,34 @@
 // with equal timestamps fire in insertion order (FIFO tie-break on a
 // monotonically increasing sequence number), which makes simulations fully
 // deterministic for a fixed seed.
+//
+// Engineering notes (see docs/perf.md): events live in an indexed 4-ary
+// heap (src/sim/event_heap.h) so Cancel is a true O(log n) removal — no
+// tombstone set that grows with every cancelled retransmission timer — and
+// callbacks are small-buffer-optimized move-only callables
+// (src/sim/inplace_function.h), so scheduling an event performs zero heap
+// allocations.
 
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "src/sim/check.h"
+#include "src/sim/event_heap.h"
+#include "src/sim/inplace_function.h"
 #include "src/sim/time.h"
 
 namespace tfc {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void(), kDefaultInplaceCapacity>;
 
   // Handle for a scheduled event; can be used to cancel it before it fires.
-  // A default-constructed EventId is invalid and safe to Cancel (no-op).
-  struct EventId {
-    uint64_t seq = 0;
-    bool valid() const { return seq != 0; }
-  };
+  // A default-constructed EventId is invalid and safe to Cancel (no-op), as
+  // is the id of an event that has already fired or been cancelled.
+  using EventId = EventHeap<Callback>::Handle;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -37,36 +40,27 @@ class Scheduler {
 
   TimeNs now() const { return now_; }
 
-  // Schedules `cb` to run at absolute time `t` (must be >= now()).
-  EventId ScheduleAt(TimeNs t, Callback cb) {
+  // Schedules `cb` to run at absolute time `t` (must be >= now()). Takes
+  // the callable itself (not a pre-built Callback) so it can be constructed
+  // directly in the event heap's callback slab.
+  template <typename F>
+  EventId ScheduleAt(TimeNs t, F&& cb) {
     TFC_CHECK(t >= now_);
-    uint64_t seq = ++next_seq_;
-    heap_.push(Entry{t, seq, std::move(cb)});
-    ++live_;
-    return EventId{seq};
+    return heap_.Push(t, ++next_seq_, std::forward<F>(cb));
   }
 
   // Schedules `cb` to run `delay` nanoseconds from now (delay >= 0).
-  EventId ScheduleAfter(TimeNs delay, Callback cb) {
-    return ScheduleAt(now_ + delay, std::move(cb));
+  template <typename F>
+  EventId ScheduleAfter(TimeNs delay, F&& cb) {
+    return ScheduleAt(now_ + delay, std::forward<F>(cb));
   }
 
   // Cancels a pending event. Returns true if the event was still pending.
   // Cancelling an already-fired, already-cancelled, or invalid id is a no-op.
-  bool Cancel(EventId id) {
-    if (!id.valid() || id.seq > next_seq_) {
-      return false;
-    }
-    bool inserted = cancelled_.insert(id.seq).second;
-    if (inserted) {
-      --live_;
-      return true;
-    }
-    return false;
-  }
+  bool Cancel(EventId id) { return heap_.Remove(id); }
 
   // Number of pending (non-cancelled) events.
-  size_t pending() const { return live_; }
+  size_t pending() const { return heap_.size(); }
 
   // Total number of events executed so far.
   uint64_t executed() const { return executed_; }
@@ -93,52 +87,25 @@ class Scheduler {
   void Stop() { stopped_ = true; }
 
  private:
-  struct Entry {
-    TimeNs time;
-    uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   // Pops and runs the earliest event if its time is <= limit.
-  // Returns false when there is nothing (eligible) left.
+  // Returns false when there is nothing eligible left.
   bool PopAndRunOne(TimeNs limit) {
-    while (!heap_.empty()) {
-      const Entry& top = heap_.top();
-      if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        heap_.pop();
-        continue;
-      }
-      if (top.time > limit) {
-        return false;
-      }
-      // Move the callback out before popping so the entry can be released.
-      Entry entry = std::move(const_cast<Entry&>(top));
-      heap_.pop();
-      --live_;
-      TFC_DCHECK(entry.time >= now_);
-      now_ = entry.time;
-      ++executed_;
-      entry.cb();
-      return true;
+    if (heap_.empty() || heap_.top_time() > limit) {
+      return false;
     }
-    return false;
+    TimeNs t;
+    Callback cb = heap_.Pop(&t);
+    TFC_DCHECK(t >= now_);
+    now_ = t;
+    ++executed_;
+    cb();
+    return true;
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<uint64_t> cancelled_;
+  EventHeap<Callback> heap_;
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  size_t live_ = 0;
   bool stopped_ = false;
 };
 

@@ -9,9 +9,9 @@
 #ifndef SRC_SIM_TIMER_H_
 #define SRC_SIM_TIMER_H_
 
-#include <functional>
 #include <utility>
 
+#include "src/sim/inplace_function.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
@@ -19,7 +19,7 @@ namespace tfc {
 
 class Timer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void(), kDefaultInplaceCapacity>;
 
   Timer(Scheduler* scheduler, Callback cb)
       : scheduler_(scheduler), cb_(std::move(cb)) {}
@@ -61,7 +61,7 @@ class Timer {
 // Fixed-interval periodic callback (samplers, application ticks).
 class PeriodicTimer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void(), kDefaultInplaceCapacity>;
 
   PeriodicTimer(Scheduler* scheduler, Callback cb)
       : scheduler_(scheduler), cb_(std::move(cb)), timer_(scheduler, [this] { Fire(); }) {}

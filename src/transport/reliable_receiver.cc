@@ -116,8 +116,7 @@ void ReliableReceiver::FlushDelayedAck() {
 }
 
 void ReliableReceiver::SendAck(const Packet& cause, PacketType type) {
-  auto ack = std::make_unique<Packet>();
-  ack->uid = network_->AllocatePacketUid();
+  PacketPtr ack = network_->AllocatePacket();
   ack->flow_id = flow_id_;
   ack->src = local_->id();
   ack->dst = cause.src;

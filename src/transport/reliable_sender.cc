@@ -62,8 +62,7 @@ void ReliableSender::Close() {
 }
 
 PacketPtr ReliableSender::MakePacket(PacketType type) const {
-  auto pkt = std::make_unique<Packet>();
-  pkt->uid = network_->AllocatePacketUid();
+  PacketPtr pkt = network_->AllocatePacket();
   pkt->flow_id = flow_id_;
   pkt->src = local_->id();
   pkt->dst = remote_->id();

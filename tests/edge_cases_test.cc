@@ -161,7 +161,7 @@ TEST(SamplerTest, QueueSamplerTracksInstantaneousDepth) {
   QueueSampler sampler(&net.scheduler(), a->nic(), Microseconds(5));
   // Enqueue 10 full frames at t=0; they drain at 12.3 us each.
   for (int i = 0; i < 10; ++i) {
-    auto pkt = std::make_unique<Packet>();
+    PacketPtr pkt = std::make_unique<Packet>();
     pkt->flow_id = 1;
     pkt->src = a->id();
     pkt->dst = b->id();

@@ -11,7 +11,7 @@ namespace tfc {
 namespace {
 
 PacketPtr MakeData(Network& net, int flow, int src, int dst, uint32_t payload) {
-  auto pkt = std::make_unique<Packet>();
+  PacketPtr pkt = std::make_unique<Packet>();
   pkt->uid = net.AllocatePacketUid();
   pkt->flow_id = flow;
   pkt->src = src;

@@ -39,7 +39,7 @@ class ScriptedReceiver : public Endpoint {
 
  private:
   void Reply(const Packet& cause, PacketType type, uint64_t ack_value) {
-    auto ack = std::make_unique<Packet>();
+    PacketPtr ack = std::make_unique<Packet>();
     ack->uid = net_->AllocatePacketUid();
     ack->flow_id = cause.flow_id;
     ack->src = local_->id();

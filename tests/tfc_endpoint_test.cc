@@ -190,7 +190,7 @@ TEST(TfcEndpointTest, ReceiverEchoesWindowOnlyOnRma) {
 
   TfcReceiver receiver(&net, receiver_host, 42, /*advertised_window=*/1 << 20);
 
-  auto data = std::make_unique<Packet>();
+  PacketPtr data = std::make_unique<Packet>();
   data->flow_id = 42;
   data->src = sender_host->id();
   data->dst = receiver_host->id();
@@ -201,7 +201,7 @@ TEST(TfcEndpointTest, ReceiverEchoesWindowOnlyOnRma) {
   data->window = 5000;  // as stamped by switches
   receiver_host->Receive(std::move(data), nullptr);
 
-  auto plain = std::make_unique<Packet>();
+  PacketPtr plain = std::make_unique<Packet>();
   plain->flow_id = 42;
   plain->src = sender_host->id();
   plain->dst = receiver_host->id();
@@ -235,7 +235,7 @@ TEST(TfcEndpointTest, ReceiverCapsEchoedWindowAtAdvertisedWindow) {
   sender_host->RegisterEndpoint(43, &sink);
   TfcReceiver receiver(&net, receiver_host, 43, /*advertised_window=*/4000);
 
-  auto data = std::make_unique<Packet>();
+  PacketPtr data = std::make_unique<Packet>();
   data->flow_id = 43;
   data->src = sender_host->id();
   data->dst = receiver_host->id();

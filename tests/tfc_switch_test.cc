@@ -43,7 +43,7 @@ class TfcPortFixture : public ::testing::Test {
   }
 
   PacketPtr MakeRmaAck(int flow, uint32_t window) {
-    auto pkt = std::make_unique<Packet>();
+    PacketPtr pkt = std::make_unique<Packet>();
     pkt->uid = net_->AllocatePacketUid();
     pkt->flow_id = flow;
     pkt->src = b_->id();
@@ -296,7 +296,7 @@ TEST_F(TfcPortFixture, ParkedAcksReleaseAtTargetRate) {
 }
 
 TEST_F(TfcPortFixture, NonRmaTrafficIgnoredByArbiter) {
-  auto data = std::make_unique<Packet>();
+  PacketPtr data = std::make_unique<Packet>();
   data->flow_id = 1;
   data->src = b_->id();
   data->dst = a_->id();

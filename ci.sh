@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Local CI entry point — the same matrix .github/workflows/ci.yml runs.
+#
+#   ./ci.sh            full matrix: release, asan-ubsan, hardened, lint, tidy
+#   ./ci.sh release    one leg by name
+#
+# Every leg must pass for the gate to be green. The sanitizer and hardened
+# presets build with -Werror and run the full test suite with the runtime
+# invariant auditor enabled (TFC_AUDIT=ON); see docs/correctness.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_preset() {
+  local preset="$1"
+  echo "=== [${preset}] configure + build + test ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}"
+}
+
+leg_release()    { run_preset release; }
+leg_asan_ubsan() { run_preset asan-ubsan; }
+leg_hardened()   { run_preset hardened; }
+leg_lint()       { echo "=== [lint] tools/lint.py ==="; python3 tools/lint.py; }
+leg_tidy()       { echo "=== [tidy] tools/tidy.sh ==="; bash tools/tidy.sh build; }
+
+case "${1:-all}" in
+  release)    leg_release ;;
+  asan-ubsan) leg_asan_ubsan ;;
+  hardened)   leg_hardened ;;
+  lint)       leg_lint ;;
+  tidy)       leg_tidy ;;
+  all)
+    leg_release
+    leg_asan_ubsan
+    leg_hardened
+    leg_lint
+    leg_tidy
+    echo "=== ci.sh: all legs green ==="
+    ;;
+  *)
+    echo "usage: $0 [release|asan-ubsan|hardened|lint|tidy|all]" >&2
+    exit 2
+    ;;
+esac

@@ -6,6 +6,51 @@
 
 namespace tfc {
 
+Network::Network(uint64_t seed) : rng_(seed) {
+  // Built-in audits: the simulator core and net-layer structures. Every
+  // component above this layer (TFC port agents, transports) registers its
+  // own invariants on top via audit().
+  audit_registry_.Register("sim.scheduler",
+                           [this](Auditor& a) { scheduler_.AuditInvariants(a); });
+  audit_registry_.Register("net.packet_pool",
+                           [this](Auditor& a) { packet_pool_.AuditInvariants(a); });
+  audit_registry_.Register("net.ports", [this](Auditor& a) {
+    for (const auto& node : nodes_) {
+      for (const auto& port : node->ports()) {
+        port->AuditInvariants(a);
+      }
+    }
+  });
+  if (AuditEnabledByDefault()) {
+    EnableAudit();
+  }
+}
+
+Network::~Network() {
+  if (audit_enabled_) {
+    const AuditReport report = RunAudit();
+    ++audit_passes_;
+    TFC_CHECK_MSG(report.ok(), "teardown " << report.ToString());
+  }
+}
+
+void Network::EnableAudit(TimeNs period) {
+  TFC_CHECK_GT(period, 0);
+  audit_period_ = period;
+  if (audit_enabled_) {
+    return;
+  }
+  audit_enabled_ = true;
+  scheduler_.ScheduleDaemonAfter(audit_period_, [this] { AuditTick(); });
+}
+
+void Network::AuditTick() {
+  const AuditReport report = RunAudit();
+  ++audit_passes_;
+  TFC_CHECK_MSG(report.ok(), report.ToString());
+  scheduler_.ScheduleDaemonAfter(audit_period_, [this] { AuditTick(); });
+}
+
 Host* Network::AddHost(std::string name) {
   auto host = std::make_unique<Host>(this, num_nodes(), std::move(name));
   Host* raw = host.get();

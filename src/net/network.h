@@ -20,6 +20,7 @@
 #include "src/net/packet_pool.h"
 #include "src/net/switch.h"
 #include "src/net/trace.h"
+#include "src/sim/audit.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
 
@@ -39,9 +40,10 @@ struct LinkOptions {
 
 class Network {
  public:
-  explicit Network(uint64_t seed = 1) : rng_(seed) {}
+  explicit Network(uint64_t seed = 1);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+  ~Network();  // runs a final audit pass when auditing is enabled
 
   Host* AddHost(std::string name);
   Switch* AddSwitch(std::string name);
@@ -91,10 +93,32 @@ class Network {
   // Finds the port on `a` whose peer is `b` (first match); null if none.
   static Port* FindPort(Node* a, Node* b);
 
+  // --- runtime invariant auditing (src/sim/audit.h) ---
+  // Components register invariant callbacks here; the network itself
+  // registers the scheduler's event heap, the packet pool, and every port.
+  AuditRegistry& audit() { return audit_registry_; }
+
+  // Turns on periodic auditing: every `period` of simulated time (and once
+  // at teardown) all registered invariants run, aborting with a full report
+  // on any violation. Called automatically from the constructor when
+  // AuditEnabledByDefault() (TFC_AUDIT preset/env). Idempotent.
+  void EnableAudit(TimeNs period = Milliseconds(5));
+  bool audit_enabled() const { return audit_enabled_; }
+  uint64_t audit_passes() const { return audit_passes_; }
+
+  // Runs one audit pass now and returns the report (does not abort; tests
+  // assert on the result).
+  AuditReport RunAudit() { return audit_registry_.RunAll(); }
+
  private:
+  void AuditTick();
   // Declared before the scheduler and nodes so it is destroyed after them:
   // pending events and port queues may hold PacketPtrs whose deleters
   // release into this pool.
+  // Declared before the nodes (like the packet pool) so it is destroyed
+  // after them: components hold ScopedAudit registrations that unregister
+  // from this registry in their destructors.
+  AuditRegistry audit_registry_;
   PacketPool packet_pool_;
   Scheduler scheduler_;
   Rng rng_;
@@ -102,6 +126,9 @@ class Network {
   int next_flow_id_ = 1;
   uint64_t next_packet_uid_ = 1;
   Tracer* tracer_ = nullptr;
+  bool audit_enabled_ = false;
+  TimeNs audit_period_ = 0;
+  uint64_t audit_passes_ = 0;
 };
 
 }  // namespace tfc

@@ -31,6 +31,12 @@ inline constexpr uint32_t kMtuFrameBytes = kMssBytes + kHeaderBytes;
 // smaller, so switches min() it down along the path.
 inline constexpr uint32_t kWindowInfinite = 0xffffffffu;
 
+// Poison stamped into released packets by the pool (src/net/packet_pool.h).
+// Live uids are sequential from 1, so the pattern can never collide with a
+// real packet; seeing it outside the free list means a use-after-free, and
+// seeing it on a packet being released means a double free.
+inline constexpr uint64_t kPoisonUid = 0xDEADDEADDEADDEADull;
+
 enum class PacketType : uint8_t {
   kData,
   kAck,

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "src/net/packet.h"
+#include "src/sim/audit.h"
+#include "src/sim/check.h"
 
 namespace tfc {
 
@@ -41,10 +43,11 @@ class PacketPool {
     if (!free_.empty()) {
       p = free_.back();
       free_.pop_back();
+      TFC_DCHECK_EQ(p->uid, kPoisonUid);  // free-list entries stay poisoned
       *p = Packet{};  // scrub every field; no state leaks between flows
       ++hits_;
     } else {
-      p = new Packet();
+      p = new Packet();  // lint:allow new-packet (the one sanctioned site)
       ++misses_;
     }
     ++outstanding_;
@@ -54,23 +57,56 @@ class PacketPool {
     return PacketPtr(p, PacketDeleter(this));
   }
 
-  // Called by PacketDeleter; not for direct use.
+  // Called by PacketDeleter; not for direct use. Poisons the returned
+  // packet: a second release of the same pointer trips the poison check
+  // (classic double-free), and the audit pass verifies the free list is
+  // still fully poisoned (a write through a stale PacketPtr — use after
+  // free — clobbers the pattern).
   void Release(Packet* p) {
+    TFC_CHECK_MSG(p->uid != kPoisonUid,
+                  "packet pool double free (packet already released)");
+    Poison(p);
     free_.push_back(p);
+    ++freed_;
     --outstanding_;
+  }
+
+  // Runtime-auditor hook: the allocation ledger must balance exactly
+  // (every packet ever handed out is either freed or still live), the free
+  // list must agree with the ledger, and freed packets must still carry
+  // the poison pattern.
+  void AuditInvariants(Auditor& audit) const {
+    audit.CheckEq(hits_ + misses_, freed_ + outstanding_,
+                  "alloc==freed+outstanding");
+    audit.CheckEq(free_.size(), freed_ - hits_, "free list matches ledger");
+    for (const Packet* p : free_) {
+      audit.Check(p->uid == kPoisonUid && p->seq == kPoisonUid &&
+                      p->ack == kPoisonUid,
+                  "freed packet still poisoned (use-after-free write)");
+    }
   }
 
   // --- statistics (exposed for the bench harness) ---
   uint64_t hits() const { return hits_; }      // allocations served from the free list
   uint64_t misses() const { return misses_; }  // allocations that hit malloc
+  uint64_t freed() const { return freed_; }    // packets returned to the pool
   uint64_t outstanding() const { return outstanding_; }
   uint64_t high_water() const { return high_water_; }  // peak live packets
   size_t free_size() const { return free_.size(); }
 
  private:
+  static void Poison(Packet* p) {
+    p->uid = kPoisonUid;
+    p->seq = kPoisonUid;
+    p->ack = kPoisonUid;
+    p->payload = 0xDEADBEEFu;
+    p->window = 0xDEADBEEFu;
+  }
+
   std::vector<Packet*> free_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t freed_ = 0;
   uint64_t outstanding_ = 0;
   uint64_t high_water_ = 0;
 };

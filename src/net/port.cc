@@ -12,12 +12,31 @@ Port::Port(Scheduler* scheduler, Node* owner, int index)
     : scheduler_(scheduler), owner_(owner), index_(index) {}
 
 void Port::Connect(Port* peer_port, uint64_t bps, TimeNs prop_delay) {
-  TFC_CHECK(peer_port_ == nullptr);
-  TFC_CHECK(bps > 0);
+  TFC_CHECK_EQ(peer_port_, nullptr);
+  TFC_CHECK_GT(bps, 0u);
   peer_port_ = peer_port;
   peer_node_ = peer_port->owner();
   bps_ = bps;
   prop_delay_ = prop_delay;
+}
+
+void Port::AuditInvariants(Auditor& audit) const {
+  if (peer_port_ == nullptr) {
+    return;  // unconnected port: no queue activity possible
+  }
+  // Bound by the largest limit ever configured: packets admitted under an
+  // earlier, larger limit legitimately remain queued after the limit shrinks.
+  audit.CheckLe(queue_bytes_, buffer_limit_hi_bytes_, "occupancy<=buffer");
+  audit.CheckLe(max_queue_bytes_, buffer_limit_hi_bytes_, "max occupancy<=buffer");
+  uint64_t sum = 0;
+  for (const PacketPtr& p : queue_) {
+    sum += p->frame_bytes();
+    audit.Check(p->uid != kPoisonUid, "queued packet is live (not freed)");
+  }
+  audit.CheckEq(queue_bytes_, sum, "queue_bytes==sum(queued frames)");
+  // Between events the transmitter is busy whenever the queue is non-empty
+  // (TryTransmit runs before every return to the scheduler).
+  audit.Check(queue_.empty() || busy_, "transmitter busy while queue non-empty");
 }
 
 TimeNs Port::SerializationTime(uint32_t wire_bytes) const {
@@ -27,7 +46,7 @@ TimeNs Port::SerializationTime(uint32_t wire_bytes) const {
 }
 
 void Port::Enqueue(PacketPtr pkt) {
-  TFC_CHECK(peer_port_ != nullptr);
+  TFC_CHECK_NE(peer_port_, nullptr);
   if (agent_ != nullptr) {
     agent_->OnEgress(*pkt);
   }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/net/packet.h"
+#include "src/sim/audit.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
@@ -59,7 +60,12 @@ class Port {
   void Enqueue(PacketPtr pkt);
 
   // --- configuration ---
-  void set_buffer_limit(uint64_t bytes) { buffer_limit_bytes_ = bytes; }
+  void set_buffer_limit(uint64_t bytes) {
+    buffer_limit_bytes_ = bytes;
+    if (bytes > buffer_limit_hi_bytes_) {
+      buffer_limit_hi_bytes_ = bytes;
+    }
+  }
   void set_ecn_threshold(uint64_t bytes) { ecn_threshold_bytes_ = bytes; }
   void set_agent(std::unique_ptr<PortAgent> agent) { agent_ = std::move(agent); }
 
@@ -73,10 +79,15 @@ class Port {
   PortAgent* agent() const { return agent_.get(); }
   Scheduler* scheduler() const { return scheduler_; }
 
-  // Queue occupancy in frame bytes (excludes the packet being serialized).
+  // Queue occupancy in frame bytes (the packet being serialized remains
+  // queued, and counted, until its serialization completes).
   uint64_t queue_bytes() const { return queue_bytes_; }
   size_t queue_packets() const { return queue_.size(); }
   uint64_t buffer_limit() const { return buffer_limit_bytes_; }
+
+  // Runtime-auditor hook: re-derives queue accounting from the queue's
+  // actual contents and checks occupancy against the buffer limit.
+  void AuditInvariants(Auditor& audit) const;
 
   // --- statistics ---
   uint64_t tx_packets() const { return tx_packets_; }
@@ -106,6 +117,9 @@ class Port {
   std::deque<PacketPtr> queue_;
   uint64_t queue_bytes_ = 0;
   uint64_t buffer_limit_bytes_ = 256 * 1024;
+  // Largest limit ever configured; tests shrink the limit mid-run to break
+  // paths, so the auditor bounds occupancy by the historical maximum.
+  uint64_t buffer_limit_hi_bytes_ = 256 * 1024;
   uint64_t ecn_threshold_bytes_ = 0;  // 0 = marking disabled
   bool busy_ = false;
 

@@ -2,12 +2,25 @@
 //
 // TFC_CHECK is always on (simulation correctness depends on these holding);
 // TFC_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+//
+// The comparison forms (TFC_CHECK_EQ/NE/LE/LT/GE/GT and their TFC_DCHECK_*
+// twins) print both operands on failure, so a violated invariant reports the
+// actual values instead of just the spelled-out condition. TFC_CHECK_MSG
+// appends stream-style context:
+//
+//   TFC_CHECK_EQ(sum, queue_bytes_);
+//   TFC_CHECK_MSG(rho >= 0.0, "port " << name << " rho=" << rho);
+//
+// The failure path is deliberately out-of-line and never inlined: the hot
+// path pays one predictable branch per check.
 
 #ifndef SRC_SIM_CHECK_H_
 #define SRC_SIM_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 namespace tfc {
 
@@ -16,6 +29,40 @@ namespace tfc {
   std::abort();
 }
 
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line,
+                                     const std::string& detail) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n  %s\n", cond, file, line,
+               detail.c_str());
+  std::abort();
+}
+
+namespace check_internal {
+
+// Streams an operand into the failure message; char-sized integers print as
+// numbers (a uint8_t weight of 1 should report "1", not an SOH byte).
+template <typename T>
+void StreamOperand(std::ostream& os, const T& v) {
+  if constexpr (std::is_same_v<T, signed char> || std::is_same_v<T, unsigned char> ||
+                std::is_same_v<T, char>) {
+    os << static_cast<int>(v);
+  } else {
+    os << v;
+  }
+}
+
+template <typename A, typename B>
+[[noreturn, gnu::noinline, gnu::cold]] void CheckOpFailed(const char* expr,
+                                                          const char* file, int line,
+                                                          const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "lhs = ";
+  StreamOperand(oss, a);
+  oss << ", rhs = ";
+  StreamOperand(oss, b);
+  CheckFailed(expr, file, line, oss.str());
+}
+
+}  // namespace check_internal
 }  // namespace tfc
 
 #define TFC_CHECK(cond)                               \
@@ -25,12 +72,53 @@ namespace tfc {
     }                                                 \
   } while (0)
 
+// TFC_CHECK_MSG(cond, "context " << value): stream-style detail, evaluated
+// only on failure.
+#define TFC_CHECK_MSG(cond, stream_expr)                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::ostringstream tfc_check_oss_;                                    \
+      tfc_check_oss_ << stream_expr;                                          \
+      ::tfc::CheckFailed(#cond, __FILE__, __LINE__, tfc_check_oss_.str());    \
+    }                                                                         \
+  } while (0)
+
+// Operand-printing comparisons. Each operand is evaluated exactly once.
+#define TFC_CHECK_OP_(a, b, op)                                                \
+  do {                                                                         \
+    const auto& tfc_check_a_ = (a);                                            \
+    const auto& tfc_check_b_ = (b);                                            \
+    if (!(tfc_check_a_ op tfc_check_b_)) {                                     \
+      ::tfc::check_internal::CheckOpFailed(#a " " #op " " #b, __FILE__,        \
+                                           __LINE__, tfc_check_a_,             \
+                                           tfc_check_b_);                      \
+    }                                                                          \
+  } while (0)
+
+#define TFC_CHECK_EQ(a, b) TFC_CHECK_OP_(a, b, ==)
+#define TFC_CHECK_NE(a, b) TFC_CHECK_OP_(a, b, !=)
+#define TFC_CHECK_LE(a, b) TFC_CHECK_OP_(a, b, <=)
+#define TFC_CHECK_LT(a, b) TFC_CHECK_OP_(a, b, <)
+#define TFC_CHECK_GE(a, b) TFC_CHECK_OP_(a, b, >=)
+#define TFC_CHECK_GT(a, b) TFC_CHECK_OP_(a, b, >)
+
 #ifdef NDEBUG
 #define TFC_DCHECK(cond) \
   do {                   \
   } while (0)
+#define TFC_DCHECK_OP_(a, b, op) \
+  do {                           \
+  } while (0)
 #else
 #define TFC_DCHECK(cond) TFC_CHECK(cond)
+#define TFC_DCHECK_OP_(a, b, op) TFC_CHECK_OP_(a, b, op)
 #endif
+
+#define TFC_DCHECK_EQ(a, b) TFC_DCHECK_OP_(a, b, ==)
+#define TFC_DCHECK_NE(a, b) TFC_DCHECK_OP_(a, b, !=)
+#define TFC_DCHECK_LE(a, b) TFC_DCHECK_OP_(a, b, <=)
+#define TFC_DCHECK_LT(a, b) TFC_DCHECK_OP_(a, b, <)
+#define TFC_DCHECK_GE(a, b) TFC_DCHECK_OP_(a, b, >=)
+#define TFC_DCHECK_GT(a, b) TFC_DCHECK_OP_(a, b, >)
 
 #endif  // SRC_SIM_CHECK_H_

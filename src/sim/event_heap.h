@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/audit.h"
 #include "src/sim/check.h"
 #include "src/sim/time.h"
 
@@ -124,9 +125,46 @@ class EventHeap {
     return true;
   }
 
+  // Structural self-check, used by the runtime auditor and the differential
+  // fuzz harness. Re-derives from scratch what the incremental operations
+  // maintain: the d-ary heap property, back-index agreement for every live
+  // slot, free-list integrity (no cycles, no out-of-range links), and the
+  // live + free = allocated record ledger.
+  void AuditInvariants(Auditor& audit) const {
+    audit.CheckLe(size_, cap_, "size<=cap");
+    for (uint32_t pos = 0; pos < size_; ++pos) {
+      const uint32_t rec = slots_[pos].rec;
+      if (rec >= meta_.size()) {
+        audit.Check(false, "slot.rec in range",
+                    "pos " + std::to_string(pos) + " rec " + std::to_string(rec));
+        continue;
+      }
+      audit.CheckEq(meta_[rec].pos_or_next_free, pos, "back-index matches slot");
+      if (pos > 0) {
+        const uint32_t parent = (pos - 1) / kArity;
+        audit.Check(!SlotBefore(slots_[pos], slots_[parent]), "heap property",
+                    "child at " + std::to_string(pos) + " precedes parent");
+      }
+    }
+    // Walk the free list; it must terminate within the record count (a
+    // longer walk means a cycle) and never point into the live heap region.
+    uint32_t free_count = 0;
+    uint32_t rec = free_head_;
+    while (rec != kNullIndex && free_count <= meta_.size()) {
+      if (rec >= meta_.size()) {
+        audit.Check(false, "free-list link in range", "rec " + std::to_string(rec));
+        return;
+      }
+      ++free_count;
+      rec = meta_[rec].pos_or_next_free;
+    }
+    audit.CheckLe(free_count, meta_.size(), "free list acyclic");
+    audit.CheckEq(size_ + free_count, meta_.size(), "live+free==allocated records");
+  }
+
   // Pops the earliest event, returning its callback and writing its time.
   Callback Pop(TimeNs* time) {
-    TFC_DCHECK(size_ > 0);
+    TFC_DCHECK_GT(size_, 0u);
     const uint32_t rec = slots_[0].rec;
     *time = slots_[0].time;
     Callback cb = std::move(CbAt(rec));  // leaves the slab entry empty

@@ -138,7 +138,15 @@ class InplaceFunction<R(Args...), Capacity> {
     if (other.ops_ != nullptr) {
       if (other.ops_->relocate == nullptr) {
         // Fixed-size copy: branchless vector moves, cheaper than a call.
+        // The copy deliberately reads up to kInlineCopyBytes even when the
+        // callable is smaller; the pad bytes are indeterminate but copying
+        // them through unsigned-char storage is well-defined, so silence
+        // GCC's uninitialized-read warning for exactly this statement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
         std::memcpy(storage_, other.storage_, kInlineCopyBytes);
+#pragma GCC diagnostic pop
       } else {
         other.ops_->relocate(storage_, other.storage_);
       }

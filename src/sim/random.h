@@ -38,7 +38,7 @@ class Rng {
 
   // Exponential with the given mean (> 0).
   double Exponential(double mean) {
-    TFC_CHECK(mean > 0);
+    TFC_CHECK_GT(mean, 0);
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
@@ -67,12 +67,12 @@ class EmpiricalCdf {
   };
 
   explicit EmpiricalCdf(std::vector<Knot> knots) : knots_(std::move(knots)) {
-    TFC_CHECK(knots_.size() >= 2);
-    TFC_CHECK(knots_.front().cum == 0.0);
-    TFC_CHECK(knots_.back().cum == 1.0);
+    TFC_CHECK_GE(knots_.size(), 2u);
+    TFC_CHECK_EQ(knots_.front().cum, 0.0);
+    TFC_CHECK_EQ(knots_.back().cum, 1.0);
     for (size_t i = 1; i < knots_.size(); ++i) {
-      TFC_CHECK(knots_[i].cum >= knots_[i - 1].cum);
-      TFC_CHECK(knots_[i].value >= knots_[i - 1].value);
+      TFC_CHECK_GE(knots_[i].cum, knots_[i - 1].cum);
+      TFC_CHECK_GE(knots_[i].value, knots_[i - 1].value);
     }
   }
 

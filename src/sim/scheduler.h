@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "src/sim/audit.h"
 #include "src/sim/check.h"
 #include "src/sim/event_heap.h"
 #include "src/sim/inplace_function.h"
@@ -45,7 +46,7 @@ class Scheduler {
   // directly in the event heap's callback slab.
   template <typename F>
   EventId ScheduleAt(TimeNs t, F&& cb) {
-    TFC_CHECK(t >= now_);
+    TFC_CHECK_GE(t, now_);
     return heap_.Push(t, ++next_seq_, std::forward<F>(cb));
   }
 
@@ -55,28 +56,54 @@ class Scheduler {
     return ScheduleAt(now_ + delay, std::forward<F>(cb));
   }
 
+  // Schedules a *daemon* event: it fires like any other event inside
+  // Run()/RunUntil(), but does not keep Run() alive — drain-mode Run()
+  // returns as soon as only daemon events remain pending. This is what
+  // lets a self-rescheduling background service (the periodic invariant
+  // auditor) coexist with tests that run the simulation to completion.
+  // Daemon events must not be cancelled (the daemon accounting cannot see
+  // a Cancel); they simply stop self-rescheduling instead.
+  template <typename F>
+  EventId ScheduleDaemonAfter(TimeNs delay, F&& cb) {
+    ++daemon_pending_;
+    return ScheduleAt(now_ + delay,
+                      [this, f = std::forward<F>(cb)]() mutable {
+                        --daemon_pending_;
+                        f();
+                      });
+  }
+
   // Cancels a pending event. Returns true if the event was still pending.
   // Cancelling an already-fired, already-cancelled, or invalid id is a no-op.
   bool Cancel(EventId id) { return heap_.Remove(id); }
 
-  // Number of pending (non-cancelled) events.
-  size_t pending() const { return heap_.size(); }
+  // Number of pending (non-cancelled) user events. Daemon events are
+  // infrastructure (the invariant auditor's tick) and are excluded, so
+  // "no leaked timers" assertions keep working with the auditor enabled.
+  size_t pending() const { return heap_.size() - daemon_pending_; }
+
+  // Number of pending events including daemons.
+  size_t pending_total() const { return heap_.size(); }
+
+  // Number of pending daemon events.
+  size_t daemon_pending() const { return daemon_pending_; }
 
   // Total number of events executed so far.
   uint64_t executed() const { return executed_; }
 
-  // Runs until the event queue drains or Stop() is called.
+  // Runs until the event queue drains (daemon events excepted) or Stop()
+  // is called.
   void Run() {
     stopped_ = false;
-    while (!stopped_ && PopAndRunOne(/*limit=*/INT64_MAX)) {
+    while (!stopped_ && PopAndRunOne(/*limit=*/INT64_MAX, /*drain_mode=*/true)) {
     }
   }
 
   // Runs all events with timestamp <= t, then advances the clock to t.
   void RunUntil(TimeNs t) {
-    TFC_CHECK(t >= now_);
+    TFC_CHECK_GE(t, now_);
     stopped_ = false;
-    while (!stopped_ && PopAndRunOne(t)) {
+    while (!stopped_ && PopAndRunOne(t, /*drain_mode=*/false)) {
     }
     if (!stopped_ && now_ < t) {
       now_ = t;
@@ -86,16 +113,29 @@ class Scheduler {
   // Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
+  // Runtime-auditor hook: structural validation of the event heap plus the
+  // clock/queue relationship (no pending event may be in the past).
+  void AuditInvariants(Auditor& audit) const {
+    if (!heap_.empty()) {
+      audit.CheckGe(heap_.top_time(), now_, "no pending event in the past");
+    }
+    heap_.AuditInvariants(audit);
+  }
+
  private:
   // Pops and runs the earliest event if its time is <= limit.
-  // Returns false when there is nothing eligible left.
-  bool PopAndRunOne(TimeNs limit) {
-    if (heap_.empty() || heap_.top_time() > limit) {
+  // Returns false when there is nothing eligible left; in drain mode a
+  // queue holding only daemon events counts as drained (their times are
+  // always > now_ here — an eligible daemon would have been popped on an
+  // earlier iteration).
+  bool PopAndRunOne(TimeNs limit, bool drain_mode) {
+    if (heap_.empty() || heap_.top_time() > limit ||
+        (drain_mode && heap_.size() == daemon_pending_)) {
       return false;
     }
     TimeNs t;
     Callback cb = heap_.Pop(&t);
-    TFC_DCHECK(t >= now_);
+    TFC_DCHECK_GE(t, now_);
     now_ = t;
     ++executed_;
     cb();
@@ -106,6 +146,7 @@ class Scheduler {
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  size_t daemon_pending_ = 0;
   bool stopped_ = false;
 };
 

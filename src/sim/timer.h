@@ -71,23 +71,34 @@ class PeriodicTimer {
   void Start(TimeNs interval) { Start(interval, interval); }
   void Start(TimeNs interval, TimeNs first_delay) {
     interval_ = interval;
+    stopped_ = false;
     timer_.RestartAfter(first_delay);
   }
 
-  void Stop() { timer_.Cancel(); }
-  bool running() const { return timer_.pending(); }
+  void Stop() {
+    stopped_ = true;
+    timer_.Cancel();
+  }
+  bool running() const { return !stopped_ && timer_.pending(); }
   Scheduler* scheduler() const { return scheduler_; }
 
  private:
   void Fire() {
     cb_();
-    timer_.RestartAfter(interval_);
+    // The callback may have called Stop() (the one-shot timer has already
+    // fired, so Stop's Cancel alone cannot prevent the re-arm — the
+    // `stopped_` flag must be consulted here) or Start() with a new cadence
+    // (in which case the timer is pending again and must not be overridden).
+    if (!stopped_ && !timer_.pending()) {
+      timer_.RestartAfter(interval_);
+    }
   }
 
   Scheduler* scheduler_;
   Callback cb_;
   Timer timer_;
   TimeNs interval_ = 0;
+  bool stopped_ = true;
 };
 
 }  // namespace tfc

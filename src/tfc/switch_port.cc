@@ -20,10 +20,17 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
       failover_timer_(scheduler_, [this] { OnFailoverTimer(); }),
       token_bytes_(bdp_bytes()),
       counter_bytes_(config.counter_cap_quanta * config.delay_quantum),
-      release_timer_(scheduler_, [this] { ReleaseParkedAcks(); }) {
-  TFC_CHECK(port->bps() > 0);
-  TFC_CHECK(config.rho0 > 0.0 && config.rho0 <= 1.0);
-  TFC_CHECK(config.history_weight >= 0.0 && config.history_weight < 1.0);
+      release_timer_(scheduler_, [this] { ReleaseParkedAcks(); }),
+      counter_initial_(counter_bytes_),
+      token_bound_hi_(config.token_boost_cap * bdp_bytes()),
+      audit_registration_(&owner->network()->audit(),
+                          "tfc.port:" + owner->name() + "." +
+                              std::to_string(port->index()),
+                          [this](Auditor& a) { AuditInvariants(a); }) {
+  TFC_CHECK_GT(port->bps(), 0u);
+  TFC_CHECK_MSG(config.rho0 > 0.0 && config.rho0 <= 1.0, "rho0=" << config.rho0);
+  TFC_CHECK_MSG(config.history_weight >= 0.0 && config.history_weight < 1.0,
+                "history_weight=" << config.history_weight);
 }
 
 double TfcPortAgent::bdp_bytes() const {
@@ -86,8 +93,17 @@ void TfcPortAgent::StampWindow(Packet& pkt) const {
   // staying below the delay-arbiter quantum also means a crowd of flows
   // starting together has its very first grants paced by the arbiter rather
   // than all firing one frame into an empty port at once.
+  //
+  // The double must be clamped into uint32 range *before* the cast: for a
+  // fast link with a large rtt_b (100 Gbps x the 160 us initial, or a slot
+  // inflated by delimiter silence) 4 BDPs exceeds 2^32 and the unguarded
+  // float->int conversion is undefined behavior (caught by the
+  // float-cast-overflow sanitizer in the asan-ubsan preset).
+  const double bounded =
+      std::min(std::max(1.0, std::floor(window_bytes_)),
+               static_cast<double>(kWindowInfinite));
   const uint32_t w = (have_window_ && rttb_measured_)
-                         ? static_cast<uint32_t>(std::max(1.0, std::floor(window_bytes_)))
+                         ? static_cast<uint32_t>(bounded)
                          : config_.delay_quantum - 1;
   pkt.window = std::min(pkt.window, w);
 }
@@ -171,6 +187,8 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
       config_.history_weight * token_bytes_ + (1.0 - config_.history_weight) * target;
   token_bytes_ = std::clamp(token_bytes_, static_cast<double>(config_.delay_quantum),
                             config_.token_boost_cap * bdp);
+  last_rho_ = rho;
+  token_bound_hi_ = config_.token_boost_cap * bdp;
 
   // W[n+1] = T[n] / E[n]  (Eq. 5).
   const int effective = config_.flow_count_mode == FlowCountMode::kSynFin
@@ -232,13 +250,18 @@ void TfcPortAgent::RefillCounter() {
     // Refill at the *target* utilization, not raw line rate: released grants
     // become full frames with preamble/IFG overhead on the wire, and with
     // zero headroom the queue would random-walk into the buffer limit.
-    counter_bytes_ += config_.rho0 * bytes_per_ns_ * static_cast<double>(dt) *
-                      (static_cast<double>(config_.delay_quantum) /
-                       static_cast<double>(config_.delay_quantum + kWireOverheadBytes));
+    const double add = config_.rho0 * bytes_per_ns_ * static_cast<double>(dt) *
+                       (static_cast<double>(config_.delay_quantum) /
+                        static_cast<double>(config_.delay_quantum + kWireOverheadBytes));
+    counter_bytes_ += add;
+    refilled_total_ += add;
     counter_refill_time_ = now;
   }
   const double cap = config_.counter_cap_quanta * config_.delay_quantum;
-  counter_bytes_ = std::min(counter_bytes_, cap);
+  if (counter_bytes_ > cap) {
+    overflow_total_ += counter_bytes_ - cap;
+    counter_bytes_ = cap;
+  }
 }
 
 bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
@@ -255,7 +278,14 @@ bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
     // the sub-MSS release rate so that the port's total allocation per slot
     // stays within the token value. Bound the debt so a long burst of large
     // windows cannot starve small flows indefinitely.
-    counter_bytes_ = std::max(counter_bytes_ - w, -config_.token_boost_cap * bdp_bytes());
+    counter_bytes_ -= w;
+    debited_total_ += w;
+    const double floor = -config_.token_boost_cap * bdp_bytes();
+    counter_floor_lo_ = std::min(counter_floor_lo_, floor);
+    if (counter_bytes_ < floor) {
+      forgiven_total_ += floor - counter_bytes_;
+      counter_bytes_ = floor;
+    }
     return true;
   }
 
@@ -264,6 +294,8 @@ bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
   if (delay_queue_.empty() && counter_bytes_ >= quantum) {
     pkt->window = config_.delay_quantum;
     counter_bytes_ -= quantum;
+    debited_total_ += quantum;
+    granted_mss_bytes_ += quantum;
     return true;
   }
   if (delay_queue_.size() >= config_.delay_queue_limit) {
@@ -296,9 +328,72 @@ void TfcPortAgent::ReleaseParkedAcks() {
     delay_queue_.pop_front();
     pkt->window = config_.delay_quantum;
     counter_bytes_ -= quantum;
+    debited_total_ += quantum;
+    granted_mss_bytes_ += quantum;
     switch_->Forward(std::move(pkt));
   }
   ScheduleRelease();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime invariants (paper Secs. 4.2-4.6; see docs/correctness.md).
+// ---------------------------------------------------------------------------
+
+void TfcPortAgent::AuditInvariants(Auditor& audit) const {
+  const double quantum = config_.delay_quantum;
+  const double cap = config_.counter_cap_quanta * quantum;
+
+  // Token conservation (Sec. 4.6): the arbiter counter must equal its
+  // byte-exact ledger — initial credit plus refills, minus cap overflow and
+  // grants, plus forgiven debt. Tolerance scales with ledger volume (each
+  // double add can lose ~1 ulp).
+  const double expected = counter_initial_ + refilled_total_ - overflow_total_ -
+                          debited_total_ + forgiven_total_;
+  const double tol =
+      1e-6 * (1.0 + refilled_total_ + debited_total_ + overflow_total_ + forgiven_total_);
+  audit.CheckNear(counter_bytes_, expected, tol, "counter==ledger balance");
+
+  // Counter bounds: never above the cap (burst bound), never below the
+  // lowest full-window debt floor actually applied. (The floor is a function
+  // of rtt_b, which min-corrects downward over time — auditing against the
+  // *current* floor would flag historical, then-legal debt.)
+  audit.CheckLe(counter_bytes_, cap + tol, "counter<=cap");
+  audit.CheckGe(counter_bytes_, counter_floor_lo_ - tol, "counter>=debt floor");
+
+  // Sub-MSS grants are paid for: every admitted quantum was debited, so
+  // granted bytes can never exceed what the allocator made available.
+  audit.CheckLe(granted_mss_bytes_, counter_initial_ + refilled_total_ + tol,
+                "granted<=initial+refilled");
+
+  // Token allocator (Secs. 4.4-4.5): positive token within the bound used
+  // at its last clamp; window derived from it with E >= 1 consumers.
+  audit.Check(token_bytes_ > 0.0, "token>0");
+  if (slots_completed_ > 0) {
+    audit.CheckLe(token_bytes_, token_bound_hi_ * (1.0 + 1e-9), "token<=boost cap");
+    audit.CheckGe(token_bytes_, quantum * (1.0 - 1e-9), "token>=one quantum");
+    audit.CheckGe(last_rho_, config_.rho_floor, "rho>=floor");
+    audit.CheckLe(window_bytes_, token_bytes_ * (1.0 + 1e-9), "window<=token");
+  }
+  audit.CheckGe(E_, 1, "effective flows>=1");
+  audit.CheckGe(synfin_count_, 0, "synfin count>=0");
+
+  // RTT estimator (Sec. 4.4): rtt_b is the min over the two epochs.
+  audit.Check(rttb_ > 0, "rtt_b>0");
+  audit.CheckLe(rttb_, rttb_epoch_min_, "rtt_b<=epoch min");
+  audit.CheckLe(rttb_, rttb_prev_epoch_min_, "rtt_b<=prev epoch min");
+
+  // Delay arbiter queue: bounded, and every parked packet is a live sub-MSS
+  // RMA ack (a poisoned uid here is a use-after-free of a pooled packet).
+  audit.CheckLe(delay_queue_.size(), config_.delay_queue_limit, "parked<=limit");
+  for (const PacketPtr& p : delay_queue_) {
+    audit.Check(p->uid != kPoisonUid, "parked packet is live (not freed)");
+    audit.Check(p->is_ack() && p->rma, "parked packet is an RMA ack");
+    audit.Check(static_cast<double>(p->window) < quantum, "parked window<quantum");
+  }
+  // A non-empty park queue must have a release scheduled, or it would
+  // starve (ScheduleRelease runs after every park and every drain).
+  audit.Check(delay_queue_.empty() || release_timer_.pending(),
+              "release timer armed while acks parked");
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@
 
 #include "src/net/port.h"
 #include "src/net/switch.h"
+#include "src/sim/audit.h"
 #include "src/sim/timer.h"
 #include "src/tfc/config.h"
 
@@ -65,6 +66,12 @@ class TfcPortAgent : public PortAgent {
 
   // Convenience downcast for a port known to run TFC (null otherwise).
   static TfcPortAgent* FromPort(Port* port);
+
+  // Runtime-auditor hook (registered with the network's AuditRegistry at
+  // construction): per-port token conservation — the delay arbiter's
+  // byte-exact ledger, counter and token bounds, rtt/slot-state sanity,
+  // and parked-ACK queue consistency. See docs/correctness.md.
+  void AuditInvariants(Auditor& audit) const;
 
  private:
   void AdoptDelimiter(const Packet& pkt);
@@ -116,6 +123,27 @@ class TfcPortAgent : public PortAgent {
   std::deque<PacketPtr> delay_queue_;
   Timer release_timer_;
   uint64_t delayed_acks_ = 0;
+
+  // Token-conservation ledger (audited): every byte entering or leaving
+  // counter_bytes_ is recorded, so the auditor can re-derive the counter
+  // from the ledger and verify that bytes granted never exceed bytes the
+  // allocator made available:
+  //   counter == initial + refilled - overflow - debited + forgiven.
+  double counter_initial_;        // the construction-time counter value
+  double refilled_total_ = 0.0;   // RefillCounter additions (at rho0 * c)
+  double overflow_total_ = 0.0;   // refill discarded at the counter cap
+  double debited_total_ = 0.0;    // grants charged (full windows + quanta)
+  double forgiven_total_ = 0.0;   // debt discarded at the counter floor
+  double counter_floor_lo_ = 0.0;  // lowest debt floor ever applied
+  double granted_mss_bytes_ = 0;  // sub-MSS upgrades admitted (paper Sec. 4.6)
+
+  // Observation state for the auditor.
+  double last_rho_ = 0.0;
+  double token_bound_hi_;  // the upper clamp applied at the last EndSlot
+
+  // Keep last: registered with Network::audit(); must unregister (and thus
+  // be destroyed) before any state AuditInvariants reads.
+  ScopedAudit audit_registration_;
 };
 
 // Attaches a TfcPortAgent to every port of every switch in the network.

@@ -15,7 +15,7 @@ ReliableReceiver::ReliableReceiver(Network* network, Host* local, int flow_id,
       ack_every_(ack_every),
       delayed_ack_timeout_(delayed_ack_timeout),
       delack_timer_(&network->scheduler(), [this] { FlushDelayedAck(); }) {
-  TFC_CHECK(ack_every_ >= 1);
+  TFC_CHECK_GE(ack_every_, 1u);
   local_->RegisterEndpoint(flow_id_, this);
 }
 

@@ -16,14 +16,14 @@ ReliableSender::ReliableSender(Network* network, Host* local, Host* remote,
       flow_id_(network->AllocateFlowId()),
       rto_(config.rto_initial),
       rto_timer_(&network->scheduler(), [this] { HandleTimeout(); }) {
-  TFC_CHECK(local_ != remote_);
+  TFC_CHECK_NE(local_, remote_);
   local_->RegisterEndpoint(flow_id_, this);
 }
 
 ReliableSender::~ReliableSender() { local_->UnregisterEndpoint(flow_id_); }
 
 void ReliableSender::InitializeReceiver() {
-  TFC_CHECK(receiver_ == nullptr);
+  TFC_CHECK_EQ(receiver_, nullptr);
   receiver_ = MakeReceiver();
 }
 
@@ -83,7 +83,7 @@ void ReliableSender::SendControl(PacketType type, bool rm) {
 }
 
 uint32_t ReliableSender::SendSegment(uint64_t seq, bool retransmission) {
-  TFC_DCHECK(seq < write_goal_);
+  TFC_DCHECK_LT(seq, write_goal_);
   const uint32_t payload =
       static_cast<uint32_t>(std::min<uint64_t>(config_.mss, write_goal_ - seq));
   PacketPtr pkt = MakePacket(PacketType::kData);
@@ -214,7 +214,7 @@ void ReliableSender::HandleAck(PacketPtr pkt) {
   if (pkt->ack > snd_una_) {
     const uint64_t newly = pkt->ack - snd_una_;
     snd_una_ = pkt->ack;
-    TFC_CHECK(snd_una_ <= write_goal_);
+    TFC_CHECK_LE(snd_una_, write_goal_);
     // After a go-back-N rewind, an ACK for old in-flight data can overtake
     // the rewound send point; everything it covers was sent, so jump ahead.
     snd_next_ = std::max(snd_next_, snd_una_);

@@ -26,7 +26,7 @@ BenchmarkTrafficApp::BenchmarkTrafficApp(Network* net, const ProtocolSuite& suit
                                          std::vector<Host*> hosts,
                                          const BenchmarkTrafficConfig& config)
     : net_(net), suite_(suite), hosts_(std::move(hosts)), config_(config) {
-  TFC_CHECK(hosts_.size() >= 2);
+  TFC_CHECK_GE(hosts_.size(), 2u);
 }
 
 void BenchmarkTrafficApp::Start() {

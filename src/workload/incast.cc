@@ -10,9 +10,9 @@ IncastApp::IncastApp(Network* net, const ProtocolSuite& suite, Host* receiver,
                      std::vector<Host*> senders, const IncastConfig& config)
     : net_(net), config_(config) {
   TFC_CHECK(!senders.empty());
-  TFC_CHECK(config.rounds > 0);
+  TFC_CHECK_GT(config.rounds, 0);
   for (Host* s : senders) {
-    TFC_CHECK(s != receiver);
+    TFC_CHECK_NE(s, receiver);
     auto flow = suite.MakeSender(net, s, receiver);
     flow->on_drained = [this] { OnFlowDrained(); };
     flows_.push_back(std::move(flow));
@@ -37,7 +37,7 @@ void IncastApp::BeginRound() {
 }
 
 void IncastApp::OnFlowDrained() {
-  TFC_CHECK(pending_in_round_ > 0);
+  TFC_CHECK_GT(pending_in_round_, 0);
   if (--pending_in_round_ > 0) {
     return;
   }

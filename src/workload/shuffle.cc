@@ -7,7 +7,7 @@ namespace tfc {
 ShuffleApp::ShuffleApp(Network* net, const ProtocolSuite& suite,
                        std::vector<Host*> participants, const ShuffleConfig& config)
     : net_(net), config_(config) {
-  TFC_CHECK(participants.size() >= 2);
+  TFC_CHECK_GE(participants.size(), 2u);
   for (Host* src : participants) {
     for (Host* dst : participants) {
       if (src == dst) {

@@ -12,11 +12,27 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/audit.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
 
 namespace tfc {
 namespace {
+
+// Structural validation of the live heap (back-index consistency, heap
+// property, free-list integrity) — the fuzz driver runs it after every
+// run-until step, so any structural corruption is caught at the op that
+// introduced it rather than as a later firing-order divergence.
+void ExpectHeapStructurallyValid(const Scheduler& sched, int step, uint64_t seed) {
+  AuditReport report;
+  Auditor auditor(&report);
+  auditor.set_component("fuzz.scheduler");
+  sched.AuditInvariants(auditor);
+  ASSERT_TRUE(report.ok()) << "heap structure broken at step " << step
+                           << " (seed " << seed << ")\n"
+                           << report.ToString();
+  EXPECT_GT(report.checks, 0u);
+}
 
 TEST(SchedulerFuzzTest, FiringOrderMatchesReferenceModel) {
   constexpr int kOpsPerSeed = 12000;  // acceptance floor is 10k random ops
@@ -76,6 +92,7 @@ TEST(SchedulerFuzzTest, FiringOrderMatchesReferenceModel) {
                                       << " (seed " << seed << ")";
         ASSERT_EQ(sched.pending(), model.size());
         ASSERT_EQ(sched.now(), horizon);
+        ExpectHeapStructurallyValid(sched, step, seed);
       }
     }
     sched.Run();

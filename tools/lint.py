@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Repo-convention linter (no third-party deps; stdlib only).
+
+Rules enforced (see docs/correctness.md):
+  include-root    quoted #includes must be repo-root-relative, i.e. start
+                  with src/ or bench/ (system headers use <...>).
+  new-packet      `new Packet` may appear only in the pool allocator
+                  (src/net/packet_pool.h). All other code must allocate via
+                  PacketPool::Allocate so poisoning / pooling stay airtight.
+                  Suppress a sanctioned site with `// lint:allow new-packet`.
+  std-function    src/sim and src/net are hot-path layers: callbacks there
+                  must use InplaceFunction (no allocation, SBO) rather than
+                  std::function. Suppress with `// lint:allow std-function`.
+  bare-assert     use TFC_CHECK / TFC_DCHECK (src/sim/check.h), which print
+                  context and abort under all build types; bare assert()
+                  vanishes in NDEBUG builds. static_assert is fine.
+
+Exit status: 0 when clean, 1 when any violation is found.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+NEW_PACKET_RE = re.compile(r"\bnew\s+Packet\b")
+STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+# assert( not preceded by an identifier character (rules out static_assert,
+# TFC_ASSERT-style macros, and _assert suffixes).
+BARE_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+ROOT_PREFIXES = tuple(f"{d}/" for d in SCAN_DIRS)
+HOT_LAYERS = ("src/sim/", "src/net/")
+POOL_FILE = "src/net/packet_pool.h"
+
+
+def allow(line: str, tag: str) -> bool:
+    return f"lint:allow {tag}" in line
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    errors = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        m = INCLUDE_RE.match(raw)
+        if m and not m.group(1).startswith(ROOT_PREFIXES):
+            errors.append(
+                f"{rel}:{lineno}: [include-root] quoted include "
+                f'"{m.group(1)}" must be repo-root-relative (src/... or bench/...)'
+            )
+        # Strip trailing // comments before content rules so prose like
+        # "never call new Packet directly" does not trip them — but check
+        # the raw line for suppressions first.
+        code = LINE_COMMENT_RE.sub("", raw)
+        if NEW_PACKET_RE.search(code) and rel != POOL_FILE and not allow(raw, "new-packet"):
+            errors.append(
+                f"{rel}:{lineno}: [new-packet] allocate packets via "
+                "PacketPool::Allocate, not bare new Packet"
+            )
+        if (
+            STD_FUNCTION_RE.search(code)
+            and rel.startswith(HOT_LAYERS)
+            and not allow(raw, "std-function")
+        ):
+            errors.append(
+                f"{rel}:{lineno}: [std-function] hot-path layers use "
+                "InplaceFunction (src/sim/inplace_function.h), not std::function"
+            )
+        if BARE_ASSERT_RE.search(code) and not allow(raw, "bare-assert"):
+            errors.append(
+                f"{rel}:{lineno}: [bare-assert] use TFC_CHECK / TFC_DCHECK "
+                "(src/sim/check.h) instead of assert()"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = []
+    files = 0
+    for d in SCAN_DIRS:
+        for path in sorted((REPO / d).rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                files += 1
+                errors.extend(lint_file(path, path.relative_to(REPO).as_posix()))
+    for e in errors:
+        print(e)
+    print(f"lint.py: {files} files, {len(errors)} violation(s)", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

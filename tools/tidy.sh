@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# clang-tidy gate over every first-party translation unit.
+#
+# Usage: tools/tidy.sh [build-dir]
+#   build-dir must contain compile_commands.json (any preset configures one:
+#   cmake --preset release). Defaults to build/.
+#
+# Skips with a notice (exit 0) when clang-tidy is not installed — the base
+# image ships only gcc; the lint still runs in environments that have LLVM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "${TIDY}" ]]; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "tidy.sh: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure with cmake --preset release first" >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(find src tests bench examples -name '*.cc' -o -name '*.cpp' | sort)
+echo "tidy.sh: linting ${#FILES[@]} files with $("${TIDY}" --version | head -n1)"
+
+RUNNER="$(command -v run-clang-tidy || true)"
+if [[ -n "${RUNNER}" ]]; then
+  "${RUNNER}" -quiet -p "${BUILD_DIR}" "${FILES[@]}"
+else
+  "${TIDY}" -quiet -p "${BUILD_DIR}" "${FILES[@]}"
+fi
+echo "tidy.sh: clean"

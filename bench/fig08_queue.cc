@@ -1,7 +1,11 @@
 // Fig. 8 — Queue length at the bottleneck under TFC / DCTCP / TCP.
 //
 // Setup (paper Sec. 6.1.2): H1 and H2 each start two long-lived flows to H3,
-// one flow every 3 seconds. The egress queue toward H3 is sampled.
+// one flow every 3 seconds. The egress queue toward H3 is sampled — since
+// PR 3 through the telemetry recorder (src/sim/telemetry.h): the bench
+// watches the bottleneck port's registered "port.<node>.p<n>.queue_bytes"
+// gauge on the same cadence the bespoke QueueSampler used, so the numbers
+// in EXPERIMENTS.md reproduce from the recorder's series.
 //
 // Paper result: TFC keeps near-zero queue (spikes <= ~9 KB); DCTCP holds
 // ~30 KB around its marking threshold; TCP fills the whole 256 KB buffer.
@@ -10,9 +14,9 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/sim/telemetry.h"
 #include "src/topo/topologies.h"
 #include "src/workload/persistent_flow.h"
-#include "src/workload/samplers.h"
 
 namespace {
 
@@ -20,6 +24,7 @@ struct Result {
   tfc::RunningStats queue;
   uint64_t max_queue = 0;
   uint64_t drops = 0;
+  size_t samples = 0;
 };
 
 Result RunOnce(tfc::Protocol protocol, bool quick) {
@@ -43,12 +48,18 @@ Result RunOnce(tfc::Protocol protocol, bool quick) {
   }
 
   Port* bottleneck = Network::FindPort(topo.switches[1], topo.hosts[2]);
-  QueueSampler sampler(&net.scheduler(), bottleneck,
-                       quick ? Microseconds(200) : Milliseconds(2));
+  const std::string series_name = bottleneck->metric_prefix() + ".queue_bytes";
+  TimeSeriesRecorder recorder(&net.scheduler(), &net.metrics());
+  recorder.Watch(series_name);
+  recorder.Start(quick ? Microseconds(200) : Milliseconds(2), /*first_delay=*/0);
   net.scheduler().RunUntil(stagger * 4);
+  recorder.Stop();
 
   Result r;
-  r.queue = sampler.stats;
+  for (const TimeSeriesRecorder::Sample& s : recorder.Series(series_name)) {
+    r.queue.Add(s.v);
+  }
+  r.samples = static_cast<size_t>(r.queue.count());
   r.max_queue = bottleneck->max_queue_bytes();
   r.drops = bottleneck->drops();
   return r;

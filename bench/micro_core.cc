@@ -13,6 +13,7 @@
 #include "src/net/packet_pool.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
+#include "src/sim/telemetry.h"
 #include "src/tfc/endpoints.h"
 #include "src/tfc/switch_port.h"
 #include "src/topo/topologies.h"
@@ -76,6 +77,33 @@ void BM_SchedulerCancelFired(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_SchedulerCancelFired);
+
+// Telemetry hot-path primitives: the marginal cost an instrumented
+// component pays per update (registration/name lookup is cold-path only).
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  MetricRegistry registry;
+  Counter* counter = registry.AddCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Add();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  MetricRegistry registry;
+  Histogram* hist = registry.AddHistogram("bench.hist");
+  uint64_t v = 12345;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = v * 6364136223846793005ull + 1442695040888963407ull;  // LCG spread
+    v >>= 34;                                                 // keep values sane
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
 
 void BM_PacketPoolAllocRelease(benchmark::State& state) {
   PacketPool pool;
@@ -194,6 +222,55 @@ void BM_IncastTestbedEventsPerSec(benchmark::State& state) {
   state.SetLabel("tfc incast 8->1, 64KB x20 rounds, testbed topo");
 }
 BENCHMARK(BM_IncastTestbedEventsPerSec)->Unit(benchmark::kMillisecond);
+
+// Telemetry-on twin of BM_IncastTestbedEventsPerSec: the same workload with
+// a TimeSeriesRecorder sampling *every* registered metric every 100 us of
+// sim time. The items_per_second gap between the two benches is the
+// all-in recording overhead; bench.sh records both so the delta is tracked
+// run over run. (BM_IncastTestbedEventsPerSec itself is the
+// telemetry-compiled-in-but-disabled number guarded against BENCH_core.json.)
+void BM_IncastTestbedTelemetryOn(benchmark::State& state) {
+  uint64_t events = 0;
+  uint64_t samples = 0;
+  double series = 0;
+  for (auto _ : state) {
+    ProtocolSuite suite;
+    suite.protocol = Protocol::kTfc;
+    Network net(3);
+    LinkOptions opts;
+    opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+    TestbedTopology topo = BuildTestbed(net, opts);
+    suite.InstallSwitchLogic(net);
+    std::vector<Host*> senders(topo.hosts.begin() + 1, topo.hosts.end());
+    IncastConfig cfg;
+    cfg.block_bytes = 64 * 1024;
+    cfg.rounds = 20;
+    IncastApp app(&net, suite, topo.hosts[0], senders, cfg);
+    TimeSeriesRecorder recorder(&net.scheduler(), &net.metrics());
+    recorder.WatchAll();
+    recorder.Start(Microseconds(100));
+    // Stop at workload completion so the recorder samples exactly the
+    // region the telemetry-off bench simulates with traffic in flight.
+    app.on_finished = [&recorder] { recorder.Stop(); };
+    app.Start();
+    net.scheduler().RunUntil(Seconds(2));
+    events += net.scheduler().executed();
+    series = static_cast<double>(recorder.SeriesNames().size());
+    uint64_t run_samples = 0;
+    recorder.ForEachSeries(
+        [&run_samples](const std::string&,
+                       const std::vector<TimeSeriesRecorder::Sample>& s) {
+          run_samples += s.size();
+        });
+    samples += run_samples;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["series"] = series;
+  state.counters["samples"] = static_cast<double>(samples) / iters;
+  state.SetLabel("same incast with a 100us recorder on every metric");
+}
+BENCHMARK(BM_IncastTestbedTelemetryOn)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tfc

@@ -47,8 +47,23 @@ echo
 echo "wrote $(pwd)/BENCH_core.json:"
 python3 - <<'EOF'
 import json
-for name, e in sorted(json.load(open("BENCH_core.json")).items()):
+data = json.load(open("BENCH_core.json"))
+for name, e in sorted(data.items()):
     ips = e.get("items_per_sec")
     ips_s = f"{ips:12.3e} items/s" if ips is not None else " " * 20
     print(f"  {name:45s} {ips_s}  {e['ns_per_op']:12.1f} ns/op")
+
+# Telemetry recording overhead: events/sec of the incast macro-bench with a
+# 100us record-everything recorder attached vs. telemetry merely compiled in.
+def ips(prefix):
+    for name, e in data.items():
+        if name.startswith(prefix) and e.get("items_per_sec"):
+            return e["items_per_sec"]
+    return None
+
+off = ips("BM_IncastTestbedEventsPerSec")
+on = ips("BM_IncastTestbedTelemetryOn")
+if off and on:
+    print(f"\n  telemetry recorder overhead: {off / on:.2f}x slower with a"
+          f" 100us full-registry recorder ({off:.3e} -> {on:.3e} events/s)")
 EOF

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
-#   ./ci.sh            full matrix: release, asan-ubsan, hardened, lint, tidy
+#   ./ci.sh            full matrix: release, asan-ubsan, hardened, lint, tidy,
+#                      telemetry
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -24,22 +25,50 @@ leg_hardened()   { run_preset hardened; }
 leg_lint()       { echo "=== [lint] tools/lint.py ==="; python3 tools/lint.py; }
 leg_tidy()       { echo "=== [tidy] tools/tidy.sh ==="; bash tools/tidy.sh build; }
 
+# Telemetry-enabled incast smoke on the paper's Fig. 4 testbed topology:
+# runs tfcsim with --telemetry-dir and validates the emitted run directory
+# against the documented schema (docs/observability.md).
+leg_telemetry() {
+  echo "=== [telemetry] tfcsim incast smoke + schema check ==="
+  cmake --preset release
+  cmake --build build -j "$(nproc)" --target tfcsim
+  local dir=build/telemetry-smoke
+  rm -rf "${dir}"
+  ./build/examples/tfcsim --workload=incast --protocol=tfc --topology=testbed \
+      --senders=8 --block_kb=64 --rounds=5 \
+      --telemetry-dir="${dir}" --telemetry-interval=500
+  python3 tools/telemetry_schema.py "${dir}"
+  # The run must actually contain the series the figures are built from.
+  python3 - "${dir}" <<'EOF'
+import json, sys
+names = {json.loads(l)["name"] for l in open(sys.argv[1] + "/metrics.jsonl")}
+want_prefixes = ("port.", "tfc.", "flow.")
+for p in want_prefixes:
+    assert any(n.startswith(p) for n in names), f"no {p}* series recorded"
+summary = json.load(open(sys.argv[1] + "/summary.json"))
+assert any("block_fct" in k for k in summary["histograms"]), "no FCT histogram"
+print(f"telemetry smoke: {len(names)} series OK")
+EOF
+}
+
 case "${1:-all}" in
   release)    leg_release ;;
   asan-ubsan) leg_asan_ubsan ;;
   hardened)   leg_hardened ;;
   lint)       leg_lint ;;
   tidy)       leg_tidy ;;
+  telemetry)  leg_telemetry ;;
   all)
     leg_release
     leg_asan_ubsan
     leg_hardened
     leg_lint
     leg_tidy
+    leg_telemetry
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|lint|tidy|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|lint|tidy|telemetry|all]" >&2
     exit 2
     ;;
 esac

@@ -16,6 +16,8 @@
 //   --topology=star|testbed|leafspine|fattree         (default star)
 //   --senders=N  --flows=N  --block_kb=N  --rounds=N  --duration=SECONDS
 //   --gbps=N (link rate)  --seed=N  --trace=FILE  --quick
+//   --telemetry-dir=DIR       write manifest.json/metrics.jsonl/summary.json
+//   --telemetry-interval=US   recorder sampling period in microseconds
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "src/net/trace.h"
+#include "src/sim/telemetry.h"
 #include "src/topo/topologies.h"
 #include "src/workload/benchmark_traffic.h"
 #include "src/workload/incast.h"
@@ -48,6 +51,8 @@ struct Options {
   uint64_t gbps = 1;
   uint64_t seed = 1;
   std::string trace_file;
+  std::string telemetry_dir;
+  uint64_t telemetry_interval_us = 1000;
 };
 
 void PrintHelp() {
@@ -63,7 +68,10 @@ void PrintHelp() {
       "  --duration=S     longflows/benchmark seconds     (default 1.0)\n"
       "  --gbps=N         edge link rate                  (default 1)\n"
       "  --seed=N         RNG seed                        (default 1)\n"
-      "  --trace=FILE     write a packet trace (ns-2 style text)");
+      "  --trace=FILE     write a packet trace (ns-2 style text)\n"
+      "  --telemetry-dir=DIR       write a telemetry run directory\n"
+      "                            (manifest.json, metrics.jsonl, summary.json)\n"
+      "  --telemetry-interval=US   recorder sampling period (default 1000 us)");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -124,7 +132,7 @@ PortTotals SwitchTotals(const Network& net) {
   return totals;
 }
 
-int RunOne(const Options& opt, Protocol protocol) {
+int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
   ProtocolSuite suite;
   suite.protocol = protocol;
   Network net(opt.seed);
@@ -145,8 +153,27 @@ int RunOne(const Options& opt, Protocol protocol) {
     net.set_tracer(tracer.get());
   }
 
+  // Telemetry: watch every component prefix (prefixes re-expand on each
+  // tick, so flows and apps registered below are picked up automatically).
+  std::unique_ptr<TimeSeriesRecorder> recorder;
+  if (!run_dir.empty()) {
+    recorder = std::make_unique<TimeSeriesRecorder>(&net.scheduler(), &net.metrics());
+    for (const char* prefix : {"port.", "tfc.", "flow.", "sim.", "pool.", "incast."}) {
+      recorder->WatchPrefix(prefix);
+    }
+    recorder->Start(Microseconds(static_cast<TimeNs>(opt.telemetry_interval_us)));
+  }
+
   std::printf("--- %s | %s | %s ---\n", suite.name(), opt.workload.c_str(),
               opt.topology.c_str());
+
+  // Workload objects are hoisted out of the branches so their registered
+  // metrics (FCT histograms, per-flow gauges) are still alive when the
+  // telemetry exporter snapshots the registry below.
+  std::unique_ptr<IncastApp> incast_app;
+  std::unique_ptr<ShuffleApp> shuffle_app;
+  std::vector<std::unique_ptr<PersistentFlow>> long_flows;
+  std::unique_ptr<BenchmarkTrafficApp> bench_app;
 
   if (opt.workload == "incast") {
     if (static_cast<size_t>(opt.senders) + 1 > topo.hosts.size()) {
@@ -158,9 +185,23 @@ int RunOne(const Options& opt, Protocol protocol) {
     IncastConfig cfg;
     cfg.block_bytes = opt.block_kb * 1024;
     cfg.rounds = opt.rounds;
-    IncastApp app(&net, suite, topo.hosts[0], responders, cfg);
+    incast_app = std::make_unique<IncastApp>(&net, suite, topo.hosts[0],
+                                             responders, cfg);
+    IncastApp& app = *incast_app;
     app.Start();
-    net.scheduler().RunUntil(Seconds(600));
+    // Drain-mode Run(): finishes when the workload does, and recorder
+    // daemon ticks never keep it alive (unlike RunUntil with a horizon).
+    net.scheduler().Run();
+    if (recorder != nullptr) {
+      // Per-flow block FCT summary gauges land in summary.json.
+      for (size_t i = 0; i < responders.size(); ++i) {
+        SampleSet fcts = app.block_fcts(i);
+        const std::string prefix = "incast.flow" + std::to_string(i);
+        net.metrics().AddGauge(prefix + ".fct_mean_us")->Set(fcts.Mean() * 1e6);
+        net.metrics().AddGauge(prefix + ".fct_p99_us")->Set(fcts.Percentile(99) * 1e6);
+        net.metrics().AddGauge(prefix + ".fct_max_us")->Set(fcts.Max() * 1e6);
+      }
+    }
     PortTotals totals = SwitchTotals(net);
     std::printf("rounds=%d/%d goodput=%.1fMbps timeouts=%llu maxTO/block=%.2f "
                 "drops=%llu maxq=%.1fKB\n",
@@ -176,9 +217,10 @@ int RunOne(const Options& opt, Protocol protocol) {
                                                              static_cast<size_t>(opt.flows)));
     ShuffleConfig cfg;
     cfg.block_bytes = opt.block_kb * 1024;
-    ShuffleApp app(&net, suite, participants, cfg);
+    shuffle_app = std::make_unique<ShuffleApp>(&net, suite, participants, cfg);
+    ShuffleApp& app = *shuffle_app;
     app.Start();
-    net.scheduler().RunUntil(Seconds(600));
+    net.scheduler().Run();
     PortTotals totals = SwitchTotals(net);
     std::printf("flows=%zu/%zu elapsed=%.3fs goodput=%.1fMbps timeouts=%llu "
                 "drops=%llu maxq=%.1fKB\n",
@@ -188,7 +230,7 @@ int RunOne(const Options& opt, Protocol protocol) {
                 static_cast<unsigned long long>(totals.drops),
                 static_cast<double>(totals.max_queue) / 1024.0);
   } else if (opt.workload == "longflows") {
-    std::vector<std::unique_ptr<PersistentFlow>> flows;
+    std::vector<std::unique_ptr<PersistentFlow>>& flows = long_flows;
     for (int i = 1; i <= opt.flows && static_cast<size_t>(i) < topo.hosts.size(); ++i) {
       flows.push_back(std::make_unique<PersistentFlow>(
           suite.MakeSender(&net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0])));
@@ -207,7 +249,8 @@ int RunOne(const Options& opt, Protocol protocol) {
   } else if (opt.workload == "benchmark") {
     BenchmarkTrafficConfig cfg;
     cfg.stop_time = Seconds(opt.duration_s);
-    BenchmarkTrafficApp app(&net, suite, topo.hosts, cfg);
+    bench_app = std::make_unique<BenchmarkTrafficApp>(&net, suite, topo.hosts, cfg);
+    BenchmarkTrafficApp& app = *bench_app;
     app.Start();
     net.scheduler().RunUntil(Seconds(opt.duration_s) + Seconds(30));
     std::printf("flows=%llu/%llu query FCT: mean=%.1fus 99th=%.1fus 99.9th=%.1fus "
@@ -228,6 +271,34 @@ int RunOne(const Options& opt, Protocol protocol) {
                 opt.trace_file.c_str());
     net.set_tracer(nullptr);
   }
+
+  if (recorder != nullptr) {
+    recorder->Stop();
+    RunManifest manifest;
+    manifest.Set("tool", "tfcsim");
+    manifest.Set("workload", opt.workload);
+    manifest.Set("protocol", suite.name());
+    manifest.Set("topology", opt.topology);
+    manifest.SetInt("senders", opt.senders);
+    manifest.SetInt("flows", opt.flows);
+    manifest.SetInt("block_kb", static_cast<int64_t>(opt.block_kb));
+    manifest.SetInt("rounds", opt.rounds);
+    manifest.SetDouble("duration_s", opt.duration_s);
+    manifest.SetInt("gbps", static_cast<int64_t>(opt.gbps));
+    manifest.SetInt("seed", static_cast<int64_t>(opt.seed));
+    manifest.SetInt("telemetry_interval_us",
+                    static_cast<int64_t>(opt.telemetry_interval_us));
+    manifest.SetDouble("sim_end_s", ToSeconds(net.scheduler().now()));
+    std::string error;
+    if (!WriteRunDirectory(run_dir, manifest, net.metrics(), recorder.get(),
+                           &net.profiler(), &error)) {
+      std::fprintf(stderr, "telemetry export failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("telemetry: %zu series, %llu ticks -> %s/\n",
+                recorder->SeriesNames().size(),
+                static_cast<unsigned long long>(recorder->ticks()), run_dir.c_str());
+  }
   return 0;
 }
 
@@ -244,8 +315,11 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "workload", &opt.workload) ||
                ParseFlag(arg, "protocol", &opt.protocol) ||
                ParseFlag(arg, "topology", &opt.topology) ||
-               ParseFlag(arg, "trace", &opt.trace_file)) {
+               ParseFlag(arg, "trace", &opt.trace_file) ||
+               ParseFlag(arg, "telemetry-dir", &opt.telemetry_dir)) {
       continue;
+    } else if (ParseFlag(arg, "telemetry-interval", &value)) {
+      opt.telemetry_interval_us = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "senders", &value)) {
       opt.senders = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "flows", &value)) {
@@ -266,7 +340,7 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.senders < 1 || opt.flows < 1 || opt.rounds < 1 || opt.gbps < 1 ||
-      opt.duration_s <= 0) {
+      opt.duration_s <= 0 || opt.telemetry_interval_us < 1) {
     std::fprintf(stderr, "numeric flags must be positive\n");
     return 1;
   }
@@ -286,7 +360,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (tfc::Protocol p : protocols) {
-    const int rc = RunOne(opt, p);
+    // With --protocol=all each protocol gets its own run subdirectory.
+    std::string run_dir = opt.telemetry_dir;
+    if (!run_dir.empty() && protocols.size() > 1) {
+      run_dir += std::string("/") + tfc::ProtocolName(p);
+    }
+    const int rc = RunOne(opt, p, run_dir);
     if (rc != 0) {
       return rc;
     }

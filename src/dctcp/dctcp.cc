@@ -5,7 +5,9 @@
 namespace tfc {
 
 DctcpSender::DctcpSender(Network* network, Host* local, Host* remote, const DctcpConfig& config)
-    : TcpSender(network, local, remote, config.tcp), config_(config) {}
+    : TcpSender(network, local, remote, config.tcp), config_(config) {
+  metrics_.AddCallbackGauge(metric_prefix() + ".alpha", [this] { return alpha_; });
+}
 
 void DctcpSender::OnAckedData(const Packet& ack, uint64_t newly_acked) {
   acked_window_ += newly_acked;

@@ -21,6 +21,26 @@ Network::Network(uint64_t seed) : rng_(seed) {
       }
     }
   });
+  // Counter monotonicity is itself an audited invariant: a counter that
+  // shrinks between passes means a reset (or double accounting) in flight.
+  audit_registry_.Register("sim.metrics",
+                           [this](Auditor& a) { metrics_.AuditInvariants(a); });
+  // Simulator-core gauges. All callback gauges over existing members: zero
+  // hot-path cost until something actually samples them.
+  metrics_.AddCallbackGauge("sim.now_ns",
+                            [this] { return static_cast<double>(scheduler_.now()); });
+  metrics_.AddCallbackGauge("sim.events_executed",
+                            [this] { return static_cast<double>(scheduler_.executed()); });
+  metrics_.AddCallbackGauge("sim.events_pending",
+                            [this] { return static_cast<double>(scheduler_.pending()); });
+  metrics_.AddCallbackGauge("pool.outstanding", [this] {
+    return static_cast<double>(packet_pool_.outstanding());
+  });
+  metrics_.AddCallbackGauge("pool.high_water", [this] {
+    return static_cast<double>(packet_pool_.high_water());
+  });
+  metrics_.AddCallbackGauge("pool.misses",
+                            [this] { return static_cast<double>(packet_pool_.misses()); });
   if (AuditEnabledByDefault()) {
     EnableAudit();
   }
@@ -45,6 +65,7 @@ void Network::EnableAudit(TimeNs period) {
 }
 
 void Network::AuditTick() {
+  ProfileScope prof(&profiler_, profiler_.Site("net.audit_tick"));
   const AuditReport report = RunAudit();
   ++audit_passes_;
   TFC_CHECK_MSG(report.ok(), report.ToString());

@@ -21,8 +21,10 @@
 #include "src/net/switch.h"
 #include "src/net/trace.h"
 #include "src/sim/audit.h"
+#include "src/sim/profile.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
+#include "src/sim/telemetry.h"
 
 namespace tfc {
 
@@ -110,15 +112,24 @@ class Network {
   // assert on the result).
   AuditReport RunAudit() { return audit_registry_.RunAll(); }
 
+  // --- telemetry (src/sim/telemetry.h, src/sim/profile.h) ---
+  // Components self-register counters/gauges here at construction; the
+  // network itself exposes the simulator core (scheduler, packet pool).
+  // Attach a TimeSeriesRecorder to this registry to record runs.
+  MetricRegistry& metrics() { return metrics_; }
+  Profiler& profiler() { return profiler_; }
+
  private:
   void AuditTick();
-  // Declared before the scheduler and nodes so it is destroyed after them:
-  // pending events and port queues may hold PacketPtrs whose deleters
-  // release into this pool.
-  // Declared before the nodes (like the packet pool) so it is destroyed
-  // after them: components hold ScopedAudit registrations that unregister
-  // from this registry in their destructors.
+  // Member order is destruction order in reverse: the audit and metric
+  // registries are declared first so they are destroyed last — components
+  // hold ScopedAudit/ScopedMetrics registrations that unregister in their
+  // destructors. The packet pool precedes the scheduler and nodes because
+  // pending events and port queues hold PacketPtrs whose deleters release
+  // into the pool.
   AuditRegistry audit_registry_;
+  MetricRegistry metrics_;
+  Profiler profiler_{&metrics_};
   PacketPool packet_pool_;
   Scheduler scheduler_;
   Rng rng_;

@@ -18,6 +18,33 @@ void Port::Connect(Port* peer_port, uint64_t bps, TimeNs prop_delay) {
   peer_node_ = peer_port->owner();
   bps_ = bps;
   prop_delay_ = prop_delay;
+  RegisterMetrics();
+}
+
+std::string Port::metric_prefix() const {
+  return "port." + owner_->name() + ".p" + std::to_string(index_);
+}
+
+void Port::RegisterMetrics() {
+  // All callback gauges over members the port maintains anyway, so the
+  // data path pays nothing until a recorder or exporter samples them.
+  serialize_site_ = owner_->network()->profiler().Site("port.serialize");
+  metrics_.Reset(&owner_->network()->metrics());
+  const std::string prefix = metric_prefix();
+  metrics_.AddCallbackGauge(prefix + ".queue_bytes",
+                            [this] { return static_cast<double>(queue_bytes_); });
+  metrics_.AddCallbackGauge(prefix + ".queue_packets",
+                            [this] { return static_cast<double>(queue_.size()); });
+  metrics_.AddCallbackGauge(prefix + ".drops",
+                            [this] { return static_cast<double>(drops_); });
+  metrics_.AddCallbackGauge(prefix + ".tx_bytes",
+                            [this] { return static_cast<double>(tx_bytes_); });
+  metrics_.AddCallbackGauge(prefix + ".ecn_marks",
+                            [this] { return static_cast<double>(ecn_marks_); });
+  metrics_.AddCallbackGauge(prefix + ".busy_ns",
+                            [this] { return static_cast<double>(busy_ns_); });
+  metrics_.AddCallbackGauge(prefix + ".max_queue_bytes",
+                            [this] { return static_cast<double>(max_queue_bytes_); });
 }
 
 void Port::AuditInvariants(Auditor& audit) const {
@@ -77,18 +104,23 @@ void Port::TryTransmit() {
     return;
   }
   busy_ = true;
+  busy_since_ = scheduler_->now();
   Packet& pkt = *queue_.front();
   const TimeNs ser = SerializationTime(pkt.wire_bytes());
   scheduler_->ScheduleAfter(ser, [this] { OnSerialized(); });
 }
 
 void Port::OnSerialized() {
+  ProfileScope prof(&owner_->network()->profiler(), serialize_site_);
   TFC_CHECK(busy_ && !queue_.empty());
   PacketPtr pkt = std::move(queue_.front());
   queue_.pop_front();
   queue_bytes_ -= pkt->frame_bytes();
   ++tx_packets_;
   tx_bytes_ += pkt->frame_bytes();
+  const uint64_t ser_ns = static_cast<uint64_t>(scheduler_->now() - busy_since_);
+  busy_ns_ += ser_ns;
+  serialize_site_->AddSim(static_cast<TimeNs>(ser_ns));
   busy_ = false;
   owner_->network()->EmitTrace(TraceEventType::kTransmit, *pkt, owner_, this);
 

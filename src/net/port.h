@@ -18,7 +18,9 @@
 
 #include "src/net/packet.h"
 #include "src/sim/audit.h"
+#include "src/sim/profile.h"
 #include "src/sim/scheduler.h"
+#include "src/sim/telemetry.h"
 #include "src/sim/time.h"
 
 namespace tfc {
@@ -98,12 +100,22 @@ class Port {
   uint64_t ecn_marks() const { return ecn_marks_; }
   void ResetMaxQueue() { max_queue_bytes_ = queue_bytes_; }
 
+  // Cumulative time the transmitter spent serializing (ns of simulated
+  // time). busy_ns / elapsed = link utilization; docs/observability.md.
+  uint64_t busy_ns() const { return busy_ns_; }
+
+  // Telemetry name prefix for this port: "port.<node>.p<index>".
+  // Registered metrics: .queue_bytes .queue_packets .drops .tx_bytes
+  // .ecn_marks .busy_ns .max_queue_bytes (see docs/observability.md).
+  std::string metric_prefix() const;
+
   // Serialization time of `wire_bytes` on this link.
   TimeNs SerializationTime(uint32_t wire_bytes) const;
 
  private:
   void TryTransmit();
   void OnSerialized();
+  void RegisterMetrics();
 
   Scheduler* scheduler_;
   Node* owner_;
@@ -131,6 +143,13 @@ class Port {
   uint64_t dropped_bytes_ = 0;
   uint64_t max_queue_bytes_ = 0;
   uint64_t ecn_marks_ = 0;
+  uint64_t busy_ns_ = 0;       // cumulative serialization time
+  TimeNs busy_since_ = 0;      // start of the in-progress serialization
+  ProfileSite* serialize_site_ = nullptr;  // shared "port.serialize" site
+
+  // Callback-gauge registrations into the network's MetricRegistry (made at
+  // Connect time). Keep last: gauges capture `this`.
+  ScopedMetrics metrics_;
 };
 
 }  // namespace tfc

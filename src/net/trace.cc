@@ -30,6 +30,13 @@ void TextTracer::OnEvent(const TraceEvent& event) {
   if (flow_filter_ >= 0 && pkt.flow_id != flow_filter_) {
     return;
   }
+  if (!node_filter_.empty() && event.node->name() != node_filter_) {
+    return;
+  }
+  if (port_filter_ >= 0 &&
+      (event.port == nullptr || event.port->index() != port_filter_)) {
+    return;
+  }
   std::ostream& out = *out_;
   out << std::fixed << std::setprecision(6) << ToSeconds(event.time) << ' '
       << EventChar(event.type) << ' ' << event.node->name();

@@ -45,11 +45,18 @@ class Tracer {
   virtual void OnEvent(const TraceEvent& event) = 0;
 };
 
-// Renders events as text. Optionally restricted to one flow id (-1 = all).
+// Renders events as text. Optionally restricted to one flow id (-1 = all),
+// one node, and/or one port index; filters compose (AND).
 class TextTracer : public Tracer {
  public:
   explicit TextTracer(std::ostream* out, int flow_filter = -1)
       : out_(out), flow_filter_(flow_filter) {}
+
+  // Only events at the node with this name (empty = all nodes, the default).
+  void set_node_filter(std::string node_name) { node_filter_ = std::move(node_name); }
+  // Only events at ports with this index (-1 = all, the default). A port
+  // filter excludes kDeliver events: deliveries carry no port.
+  void set_port_filter(int index) { port_filter_ = index; }
 
   void OnEvent(const TraceEvent& event) override;
 
@@ -58,6 +65,8 @@ class TextTracer : public Tracer {
  private:
   std::ostream* out_;
   int flow_filter_;
+  std::string node_filter_;
+  int port_filter_ = -1;
   uint64_t events_written_ = 0;
 };
 

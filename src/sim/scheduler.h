@@ -60,9 +60,10 @@ class Scheduler {
   // Run()/RunUntil(), but does not keep Run() alive — drain-mode Run()
   // returns as soon as only daemon events remain pending. This is what
   // lets a self-rescheduling background service (the periodic invariant
-  // auditor) coexist with tests that run the simulation to completion.
-  // Daemon events must not be cancelled (the daemon accounting cannot see
-  // a Cancel); they simply stop self-rescheduling instead.
+  // auditor, the telemetry recorder) coexist with tests that run the
+  // simulation to completion. A pending daemon event must be cancelled with
+  // CancelDaemon, never Cancel — plain Cancel cannot see the daemon
+  // accounting and would leave pending() permanently short by one.
   template <typename F>
   EventId ScheduleDaemonAfter(TimeNs delay, F&& cb) {
     ++daemon_pending_;
@@ -76,6 +77,18 @@ class Scheduler {
   // Cancels a pending event. Returns true if the event was still pending.
   // Cancelling an already-fired, already-cancelled, or invalid id is a no-op.
   bool Cancel(EventId id) { return heap_.Remove(id); }
+
+  // Cancels a pending daemon event (one scheduled with ScheduleDaemonAfter).
+  // The daemon counter is adjusted only when the event was actually removed,
+  // so cancelling an already-fired daemon id is a safe no-op.
+  bool CancelDaemon(EventId id) {
+    if (heap_.Remove(id)) {
+      TFC_DCHECK_GT(daemon_pending_, 0u);
+      --daemon_pending_;
+      return true;
+    }
+    return false;
+  }
 
   // Number of pending (non-cancelled) user events. Daemon events are
   // infrastructure (the invariant auditor's tick) and are excluded, so

@@ -66,17 +66,33 @@ class SampleSet {
     return sum / static_cast<double>(samples_.size());
   }
 
-  // Percentile p in [0, 100], nearest-rank on the sorted samples.
+  // Percentile p in [0, 100], linearly interpolated between the two
+  // neighbouring order statistics (the "exclusive" definition used by
+  // numpy.percentile's default): p maps to fractional rank
+  // p/100 * (n - 1), and the result is lerped between samples_[floor] and
+  // samples_[ceil]. Exact for p=0 (min) and p=100 (max).
   double Percentile(double p) {
     if (samples_.empty()) {
       return 0.0;
     }
     Sort();
-    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+    return PercentileSorted(p);
+  }
+
+  // Batch percentile query: one sort, then one interpolation per requested
+  // p. Results are in the same order as `ps`.
+  std::vector<double> Percentiles(const std::vector<double>& ps) {
+    std::vector<double> out;
+    out.reserve(ps.size());
+    if (samples_.empty()) {
+      out.assign(ps.size(), 0.0);
+      return out;
+    }
+    Sort();
+    for (double p : ps) {
+      out.push_back(PercentileSorted(p));
+    }
+    return out;
   }
 
   double Min() {
@@ -96,6 +112,15 @@ class SampleSet {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
+  }
+
+  // Requires Sort() to have run and samples_ to be non-empty.
+  double PercentileSorted(double p) const {
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
   }
 
   std::vector<double> samples_;

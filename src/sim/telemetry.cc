@@ -1,0 +1,598 @@
+#include "src/sim/telemetry.h"
+
+// The exporter is the one sanctioned I/O path out of the hot layers: it
+// runs after (or between) simulation phases, never per event.
+// lint:allow hot-io
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "src/sim/audit.h"
+#include "src/sim/profile.h"
+
+namespace tfc {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kCallbackGauge:
+      return "callback_gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank over buckets: the first bucket whose cumulative count
+  // reaches ceil(p% of n) holds the percentile sample.
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[static_cast<size_t>(b)];
+    if (cum >= target) {
+      const uint64_t ub = BucketUpperBound(b);
+      const uint64_t largest_in_bucket = ub == 0 ? max_ : ub - 1;
+      return std::min(largest_in_bucket, max_);
+    }
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+MetricRegistry::Entry::~Entry() { delete hist; }
+
+MetricRegistry::Entry& MetricRegistry::Insert(std::string name, MetricKind kind,
+                                              uint64_t owner, bool replace) {
+  TFC_CHECK_MSG(!name.empty(), "metric names must be non-empty");
+  auto [it, inserted] = entries_.try_emplace(std::move(name));
+  if (!inserted) {
+    TFC_CHECK_MSG(replace, "duplicate metric name: " << it->first);
+    // Re-claim: drop the displaced entry (std::map node stability keeps
+    // every other metric pointer valid) and rebuild it fresh.
+    std::string key = it->first;
+    entries_.erase(it);
+    it = entries_.try_emplace(std::move(key)).first;
+  }
+  it->second.kind = kind;
+  it->second.owner = owner;
+  return it->second;
+}
+
+Counter* MetricRegistry::AddCounter(std::string name) {
+  return &Insert(std::move(name), MetricKind::kCounter, /*owner=*/0, /*replace=*/false)
+              .counter;
+}
+
+Gauge* MetricRegistry::AddGauge(std::string name) {
+  return &Insert(std::move(name), MetricKind::kGauge, /*owner=*/0, /*replace=*/false)
+              .gauge;
+}
+
+void MetricRegistry::AddCallbackGauge(std::string name, GaugeFn fn) {
+  Insert(std::move(name), MetricKind::kCallbackGauge, /*owner=*/0, /*replace=*/false)
+      .fn = std::move(fn);
+}
+
+Histogram* MetricRegistry::AddHistogram(std::string name) {
+  Entry& e = Insert(std::move(name), MetricKind::kHistogram, /*owner=*/0,
+                    /*replace=*/false);
+  e.hist = new Histogram();
+  return e.hist;
+}
+
+void MetricRegistry::Unregister(const std::string& name) { entries_.erase(name); }
+
+void MetricRegistry::UnregisterOwned(const std::string& name, uint64_t token) {
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.owner == token) {
+    entries_.erase(it);
+  }
+}
+
+bool MetricRegistry::Read(const std::string& name, double* out) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return false;
+  }
+  Entry& e = it->second;
+  switch (e.kind) {
+    case MetricKind::kCounter:
+      *out = static_cast<double>(e.counter.value());
+      return true;
+    case MetricKind::kGauge:
+      *out = e.gauge.value();
+      return true;
+    case MetricKind::kCallbackGauge:
+      *out = e.fn();
+      return true;
+    case MetricKind::kHistogram:
+      return false;
+  }
+  return false;
+}
+
+const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != MetricKind::kHistogram) {
+    return nullptr;
+  }
+  return it->second.hist;
+}
+
+void MetricRegistry::AuditInvariants(Auditor& audit) {
+  for (auto& [name, entry] : entries_) {
+    if (entry.kind != MetricKind::kCounter) {
+      continue;
+    }
+    const bool ok = entry.counter.value() >= entry.last_audited;
+    audit.Check(ok, "counter monotone between audit passes",
+                ok ? std::string{}
+                   : name + " went " + std::to_string(entry.last_audited) +
+                         " -> " + std::to_string(entry.counter.value()));
+    entry.last_audited = entry.counter.value();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScopedMetrics
+// ---------------------------------------------------------------------------
+
+Counter* ScopedMetrics::AddCounter(std::string name) {
+  TFC_CHECK(registry_ != nullptr);
+  names_.push_back(name);
+  return &registry_->Insert(std::move(name), MetricKind::kCounter, token_, replace_)
+              .counter;
+}
+
+Gauge* ScopedMetrics::AddGauge(std::string name) {
+  TFC_CHECK(registry_ != nullptr);
+  names_.push_back(name);
+  return &registry_->Insert(std::move(name), MetricKind::kGauge, token_, replace_)
+              .gauge;
+}
+
+void ScopedMetrics::AddCallbackGauge(std::string name, MetricRegistry::GaugeFn fn) {
+  TFC_CHECK(registry_ != nullptr);
+  names_.push_back(name);
+  registry_->Insert(std::move(name), MetricKind::kCallbackGauge, token_, replace_).fn =
+      std::move(fn);
+}
+
+Histogram* ScopedMetrics::AddHistogram(std::string name) {
+  TFC_CHECK(registry_ != nullptr);
+  names_.push_back(name);
+  MetricRegistry::Entry& e =
+      registry_->Insert(std::move(name), MetricKind::kHistogram, token_, replace_);
+  e.hist = new Histogram();
+  return e.hist;
+}
+
+void ScopedMetrics::Clear() {
+  if (registry_ != nullptr) {
+    for (const std::string& name : names_) {
+      registry_->UnregisterOwned(name, token_);
+    }
+  }
+  names_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRecorder
+// ---------------------------------------------------------------------------
+
+void TimeSeriesRecorder::Watch(std::string name) { watches_.push_back(std::move(name)); }
+
+void TimeSeriesRecorder::WatchPrefix(std::string prefix) {
+  prefixes_.push_back(std::move(prefix));
+}
+
+void TimeSeriesRecorder::Start(TimeNs period, TimeNs first_delay) {
+  TFC_CHECK_GT(period, 0);
+  TFC_CHECK_GE(first_delay, 0);
+  Stop();
+  period_ = period;
+  running_ = true;
+  tick_event_ = scheduler_->ScheduleDaemonAfter(first_delay, [this] { Tick(); });
+}
+
+void TimeSeriesRecorder::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  scheduler_->CancelDaemon(tick_event_);
+  tick_event_ = Scheduler::EventId{};
+}
+
+void TimeSeriesRecorder::Tick() {
+  if (!running_) {
+    return;
+  }
+  ++ticks_;
+  const TimeNs t = scheduler_->now();
+  double v = 0.0;
+  for (const std::string& name : watches_) {
+    // A watched metric that has disappeared (component destroyed mid-run)
+    // silently stops extending its series.
+    if (registry_->Read(name, &v)) {
+      Append(name, t, v);
+    }
+  }
+  if (!prefixes_.empty()) {
+    registry_->ForEachName([&](const std::string& name, MetricKind kind) {
+      if (kind == MetricKind::kHistogram) {
+        return;  // distributions export via summary.json, not as series
+      }
+      bool matched = false;
+      for (const std::string& p : prefixes_) {
+        if (name.compare(0, p.size(), p) == 0) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched ||
+          std::find(watches_.begin(), watches_.end(), name) != watches_.end()) {
+        return;  // not watched, or already sampled via the exact-name list
+      }
+      if (registry_->Read(name, &v)) {
+        Append(name, t, v);
+      }
+    });
+  }
+  tick_event_ = scheduler_->ScheduleDaemonAfter(period_, [this] { Tick(); });
+}
+
+void TimeSeriesRecorder::Append(const std::string& name, TimeNs t, double v) {
+  Ring& ring = series_[name];
+  if (max_samples_ == 0 || ring.samples.size() < max_samples_) {
+    ring.samples.push_back(Sample{t, v});
+    return;
+  }
+  ring.samples[ring.head] = Sample{t, v};
+  ring.head = (ring.head + 1) % max_samples_;
+  ring.wrapped = true;
+  ++dropped_;
+}
+
+std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::Unroll(const Ring& ring) {
+  if (!ring.wrapped) {
+    return ring.samples;
+  }
+  std::vector<Sample> out;
+  out.reserve(ring.samples.size());
+  for (size_t i = 0; i < ring.samples.size(); ++i) {
+    out.push_back(ring.samples[(ring.head + i) % ring.samples.size()]);
+  }
+  return out;
+}
+
+std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::Series(
+    const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    return {};
+  }
+  return Unroll(it->second);
+}
+
+std::vector<std::string> TimeSeriesRecorder::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no NaN/inf
+  }
+  // Integers that fit exactly render without a fraction — counter values
+  // and byte counts stay greppable as plain integers.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc()) {
+    return "null";
+  }
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+std::string Quoted(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RunManifest
+// ---------------------------------------------------------------------------
+
+void RunManifest::SetLiteral(const std::string& key, std::string json) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(json);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(json));
+}
+
+void RunManifest::Set(const std::string& key, const std::string& value) {
+  SetLiteral(key, Quoted(value));
+}
+
+void RunManifest::SetInt(const std::string& key, int64_t value) {
+  SetLiteral(key, std::to_string(value));
+}
+
+void RunManifest::SetDouble(const std::string& key, double value) {
+  SetLiteral(key, JsonNumber(value));
+}
+
+void RunManifest::SetBool(const std::string& key, bool value) {
+  SetLiteral(key, value ? "true" : "false");
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+// ---------------------------------------------------------------------------
+
+const std::string& GitDescribe() {
+  static const std::string cached = [] {
+    std::string out = "unknown";
+    FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+    if (pipe != nullptr) {
+      std::string text;
+      char buf[256];
+      while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+        text += buf;
+      }
+      const int rc = ::pclose(pipe);
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+      if (rc == 0 && !text.empty()) {
+        out = std::move(text);
+      }
+    }
+    return out;
+  }();
+  return cached;
+}
+
+namespace {
+
+bool WriteManifest(const std::string& path, const RunManifest& manifest,
+                   std::string* error) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  const std::time_t now = std::time(nullptr);
+  char utc[32] = "unknown";
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(utc, sizeof utc, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+  f << "{\n";
+  f << "  \"schema_version\": 1,\n";
+  f << "  \"git_describe\": " << Quoted(GitDescribe()) << ",\n";
+  f << "  \"created_unix\": " << static_cast<int64_t>(now) << ",\n";
+  f << "  \"created_utc\": " << Quoted(utc) << ",\n";
+  f << "  \"run\": {";
+  bool first = true;
+  for (const auto& [key, json] : manifest.entries()) {
+    f << (first ? "\n" : ",\n") << "    " << Quoted(key) << ": " << json;
+    first = false;
+  }
+  f << (first ? "}" : "\n  }") << "\n}\n";
+  f.flush();
+  if (!f) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool WriteMetricsJsonl(const std::string& path, const TimeSeriesRecorder* recorder,
+                       std::string* error) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  if (recorder != nullptr) {
+    recorder->ForEachSeries(
+        [&f](const std::string& name, const std::vector<TimeSeriesRecorder::Sample>& samples) {
+          const std::string quoted_name = Quoted(name);
+          for (const TimeSeriesRecorder::Sample& s : samples) {
+            f << "{\"t_ns\": " << s.t << ", \"name\": " << quoted_name
+              << ", \"v\": " << JsonNumber(s.v) << "}\n";
+          }
+        });
+  }
+  f.flush();
+  if (!f) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+void WriteHistogramJson(std::ofstream& f, const Histogram& h, const char* indent) {
+  f << "{\n";
+  f << indent << "  \"count\": " << h.count() << ",\n";
+  f << indent << "  \"sum\": " << h.sum() << ",\n";
+  f << indent << "  \"min\": " << h.min() << ",\n";
+  f << indent << "  \"max\": " << h.max() << ",\n";
+  f << indent << "  \"mean\": " << JsonNumber(h.mean()) << ",\n";
+  f << indent << "  \"p50\": " << h.Percentile(50) << ",\n";
+  f << indent << "  \"p90\": " << h.Percentile(90) << ",\n";
+  f << indent << "  \"p99\": " << h.Percentile(99) << ",\n";
+  f << indent << "  \"p999\": " << h.Percentile(99.9) << ",\n";
+  f << indent << "  \"buckets\": [";
+  bool first = true;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t n = h.bucket_count(b);
+    if (n == 0) {
+      continue;  // sparse export: all-zero buckets dominate and carry nothing
+    }
+    f << (first ? "" : ", ") << "[" << Histogram::BucketLowerBound(b) << ", "
+      << Histogram::BucketUpperBound(b) << ", " << n << "]";
+    first = false;
+  }
+  f << "]\n" << indent << "}";
+}
+
+bool WriteSummary(const std::string& path, MetricRegistry& metrics,
+                  const Profiler* profiler, std::string* error) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  f << "{\n  \"schema_version\": 1,\n";
+
+  f << "  \"counters\": {";
+  bool first = true;
+  metrics.ForEachName([&](const std::string& name, MetricKind kind) {
+    if (kind != MetricKind::kCounter) {
+      return;
+    }
+    double v = 0.0;
+    metrics.Read(name, &v);
+    f << (first ? "\n" : ",\n") << "    " << Quoted(name) << ": " << JsonNumber(v);
+    first = false;
+  });
+  f << (first ? "}," : "\n  },") << "\n";
+
+  f << "  \"gauges\": {";
+  first = true;
+  metrics.ForEachName([&](const std::string& name, MetricKind kind) {
+    if (kind != MetricKind::kGauge && kind != MetricKind::kCallbackGauge) {
+      return;
+    }
+    double v = 0.0;
+    metrics.Read(name, &v);
+    f << (first ? "\n" : ",\n") << "    " << Quoted(name) << ": " << JsonNumber(v);
+    first = false;
+  });
+  f << (first ? "}," : "\n  },") << "\n";
+
+  f << "  \"histograms\": {";
+  first = true;
+  metrics.ForEachName([&](const std::string& name, MetricKind kind) {
+    if (kind != MetricKind::kHistogram) {
+      return;
+    }
+    const Histogram* h = metrics.FindHistogram(name);
+    f << (first ? "\n" : ",\n") << "    " << Quoted(name) << ": ";
+    WriteHistogramJson(f, *h, "    ");
+    first = false;
+  });
+  f << (first ? "}," : "\n  },") << "\n";
+
+  f << "  \"profile\": {";
+  first = true;
+  if (profiler != nullptr) {
+    profiler->ForEachSite([&](const ProfileSite& site) {
+      f << (first ? "\n" : ",\n") << "    " << Quoted(site.name()) << ": {\"hits\": "
+        << site.hits() << ", \"sim_ns\": " << site.sim_ns() << ", \"wall_ns\": "
+        << site.wall_ns() << "}";
+      first = false;
+    });
+  }
+  f << (first ? "}" : "\n  }") << "\n}\n";
+
+  f.flush();
+  if (!f) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteRunDirectory(const std::string& dir, const RunManifest& manifest,
+                       MetricRegistry& metrics, const TimeSeriesRecorder* recorder,
+                       const Profiler* profiler, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    *error = "create_directories(" + dir + "): " + ec.message();
+    return false;
+  }
+  return WriteManifest(dir + "/manifest.json", manifest, error) &&
+         WriteMetricsJsonl(dir + "/metrics.jsonl", recorder, error) &&
+         WriteSummary(dir + "/summary.json", metrics, profiler, error);
+}
+
+}  // namespace tfc

@@ -1,0 +1,407 @@
+// Telemetry layer: metrics registry, time-series recorder, run exporter.
+//
+// The paper's entire evaluation (Sec. 6, Figs. 6-16) is built from internal
+// time series — per-port queue length, token counter, effective flow count,
+// rho, per-flow cwnd — and this layer is the unified way to record them.
+//
+// Three pieces:
+//
+//   MetricRegistry   named counters, gauges, and log-linear histograms.
+//                    Register once (cold path, name lookup); update on the
+//                    hot path through the returned pointer — a branch-free
+//                    increment, no map access, no formatting. Callback
+//                    gauges invert the flow: components expose an existing
+//                    member (queue_bytes_, token_bytes_) through a pull
+//                    function, so instrumented hot paths pay nothing at all
+//                    until somebody actually samples.
+//
+//   TimeSeriesRecorder  samples watched metrics on a fixed cadence into
+//                    append/ring buffers. Ticks are *daemon* events
+//                    (Scheduler::ScheduleDaemonAfter), so an attached
+//                    recorder never keeps Run() alive and never perturbs
+//                    "no leaked timers" pending() assertions.
+//
+//   Run exporter     writes a per-run directory: manifest.json (what ran),
+//                    metrics.jsonl (the recorded series), summary.json
+//                    (final snapshot of every metric + profiler sites).
+//                    Formats are documented in docs/observability.md and
+//                    validated by tools/telemetry_schema.py in CI.
+//
+// The registry lives on the Network (Network::metrics()) next to the audit
+// registry; components self-register their gauges at construction and
+// unregister through ScopedMetrics when destroyed mid-run.
+
+#ifndef SRC_SIM_TELEMETRY_H_
+#define SRC_SIM_TELEMETRY_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/inplace_function.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+
+class Auditor;
+
+// Monotonically increasing event count. Hot-path update is `counter->Add()`
+// — one add through a stable pointer, no branches. The registry's audit
+// hook verifies monotonicity between audit passes.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+  // Test seam for the monotonicity audit: real code never decreases a
+  // counter; the audit test uses this to simulate a buggy component.
+  void ResetForTest() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-written value (instantaneous level: queue depth, cwnd, rho).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Log-linear histogram over non-negative integer samples (latencies in us,
+// sizes in bytes). Octaves above 2^kSubBits are split into kSub linear
+// sub-buckets, so relative resolution is bounded by 1/kSub (6.25%) while
+// the whole uint64 range fits in kNumBuckets fixed slots. Values below kSub
+// are recorded exactly. Hot-path Record is a bit-scan plus two increments.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;  // 16 sub-buckets per octave
+  static constexpr int kNumBuckets = (64 - kSubBits) * kSub + kSub;
+
+  void Record(uint64_t v) {
+    ++buckets_[static_cast<size_t>(BucketIndex(v))];
+    ++count_;
+    sum_ += v;
+    if (v > max_) {
+      max_ = v;
+    }
+    if (v < min_) {
+      min_ = v;
+    }
+  }
+
+  // Bucket index for a value; shared with the tests that pin boundaries.
+  static int BucketIndex(uint64_t v) {
+    const int shift = std::max(0, static_cast<int>(std::bit_width(v)) - 1 - kSubBits);
+    return shift * kSub + static_cast<int>(v >> shift);
+  }
+
+  // Smallest value mapping to bucket `b` (inverse of BucketIndex).
+  static uint64_t BucketLowerBound(int b) {
+    if (b < kSub) {
+      return static_cast<uint64_t>(b);
+    }
+    const int shift = b / kSub - 1;
+    const uint64_t mantissa = static_cast<uint64_t>(b - shift * kSub);
+    return mantissa << shift;
+  }
+
+  // One past the largest value mapping to bucket `b` (0 = unbounded top).
+  static uint64_t BucketUpperBound(int b) {
+    return b + 1 < kNumBuckets ? BucketLowerBound(b + 1) : 0;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return count_ > 0 ? max_ : 0; }
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  uint64_t bucket_count(int b) const { return buckets_.at(static_cast<size_t>(b)); }
+
+  // Upper estimate of the p-th percentile (p in [0,100]): the smallest
+  // bucket upper bound such that at least p% of samples fall at or below
+  // it, clamped to the observed max. Error is bounded by one sub-bucket
+  // (<= 6.25% relative).
+  uint64_t Percentile(double p) const;
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kNumBuckets, 0);
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = ~0ull;
+};
+
+enum class MetricKind : uint8_t {
+  kCounter,
+  kGauge,          // push gauge (Gauge::Set)
+  kCallbackGauge,  // pull gauge (sampled via function)
+  kHistogram,
+};
+
+const char* MetricKindName(MetricKind kind);
+
+// Registry of named metrics. Registration and lookup are cold-path (map by
+// name); the returned pointers are stable for the metric's lifetime, so hot
+// paths touch only the metric object. Duplicate names abort (TFC_CHECK):
+// two components claiming the same series is a wiring bug, not a runtime
+// condition. Not thread-safe (the simulator is single-threaded).
+class MetricRegistry {
+ public:
+  using GaugeFn = InplaceFunction<double(), kDefaultInplaceCapacity>;
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  void AddCallbackGauge(std::string name, GaugeFn fn);
+  Histogram* AddHistogram(std::string name);
+
+  // Removes a metric (no-op if absent). Components that can die before the
+  // registry (flows, replaced agents) unregister via ScopedMetrics.
+  void Unregister(const std::string& name);
+
+  // Removes a metric only if it is still owned by `token` (see
+  // ScopedMetrics): after a replace-on-collision, the displaced owner's
+  // cleanup must not take the new owner's entry with it.
+  void UnregisterOwned(const std::string& name, uint64_t token);
+
+  bool Has(const std::string& name) const { return entries_.count(name) > 0; }
+  size_t size() const { return entries_.size(); }
+
+  // Reads the current numeric value of a counter or gauge (histograms and
+  // absent names return false). Non-const: callback gauges may be stateful.
+  bool Read(const std::string& name, double* out);
+
+  // Visits every metric in name order: fn(name, kind). Use Read /
+  // FindHistogram to pull values; name order makes exports deterministic.
+  template <typename Fn>
+  void ForEachName(Fn&& fn) const {
+    for (const auto& [name, entry] : entries_) {
+      fn(name, entry.kind);
+    }
+  }
+
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Runtime-auditor hook: every counter must be monotone between audit
+  // passes (a shrinking counter means double-release or reset-in-flight).
+  void AuditInvariants(Auditor& audit);
+
+ private:
+  friend class ScopedMetrics;
+
+  struct Entry {
+    MetricKind kind;
+    Counter counter;           // kCounter
+    Gauge gauge;               // kGauge
+    GaugeFn fn;                // kCallbackGauge
+    Histogram* hist = nullptr;  // kHistogram (owned; ~8 KB, heap-allocated)
+    uint64_t last_audited = 0;  // monotonicity watermark for counters
+    uint64_t owner = 0;         // ScopedMetrics token; 0 = direct registration
+    ~Entry();
+    Entry() : kind(MetricKind::kCounter) {}
+    Entry(Entry&&) = delete;
+  };
+
+  // `replace` re-claims an existing name (dropping the previous entry)
+  // instead of aborting; only ScopedMetrics exposes it.
+  Entry& Insert(std::string name, MetricKind kind, uint64_t owner, bool replace);
+
+  uint64_t NewOwnerToken() { return next_owner_token_++; }
+
+  // std::map: stable node addresses (metric pointers survive unrelated
+  // inserts/erases) and deterministic name-ordered iteration for exports.
+  std::map<std::string, Entry> entries_;
+  uint64_t next_owner_token_ = 1;
+};
+
+// RAII bundle of registrations: everything added through this object is
+// unregistered when it is destroyed, so a component destroyed mid-run
+// cannot leave a dangling callback gauge behind (same contract as
+// ScopedAudit). Default-constructed inert; Reset() binds a registry.
+class ScopedMetrics {
+ public:
+  ScopedMetrics() = default;
+  explicit ScopedMetrics(MetricRegistry* registry) { Reset(registry); }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+  ~ScopedMetrics() { Clear(); }
+
+  // Binds (or rebinds) the registry; unregisters anything already added.
+  void Reset(MetricRegistry* registry) {
+    Clear();
+    registry_ = registry;
+    token_ = registry_ != nullptr ? registry_->NewOwnerToken() : 0;
+  }
+
+  // When set, a name collision re-claims the existing metric instead of
+  // aborting. For components that can be legitimately rebuilt for the same
+  // resource (a port's protocol agent replaced mid-test): the new instance
+  // takes over the names, and the displaced instance's destructor cannot
+  // remove them (ownership-token mismatch).
+  void set_replace_on_collision(bool v) { replace_ = v; }
+
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  void AddCallbackGauge(std::string name, MetricRegistry::GaugeFn fn);
+  Histogram* AddHistogram(std::string name);
+
+  MetricRegistry* registry() const { return registry_; }
+  bool bound() const { return registry_ != nullptr; }
+
+ private:
+  void Clear();
+
+  MetricRegistry* registry_ = nullptr;
+  uint64_t token_ = 0;
+  bool replace_ = false;
+  std::vector<std::string> names_;
+};
+
+// Samples watched counters/gauges on a fixed cadence into per-metric
+// buffers. Ticks are daemon events: they fire inside Run()/RunUntil() like
+// any event but do not keep drain-mode Run() alive and are excluded from
+// pending(). A watched metric that disappears (its component unregistered)
+// simply stops extending its series.
+class TimeSeriesRecorder {
+ public:
+  struct Sample {
+    TimeNs t;
+    double v;
+  };
+
+  TimeSeriesRecorder(Scheduler* scheduler, MetricRegistry* registry)
+      : scheduler_(scheduler), registry_(registry) {}
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+  ~TimeSeriesRecorder() { Stop(); }
+
+  // Watch one metric by exact name, or every current and future metric
+  // whose name starts with `prefix` (prefixes are re-expanded on every
+  // tick, so metrics registered after Start() are picked up).
+  void Watch(std::string name);
+  void WatchPrefix(std::string prefix);
+  void WatchAll() { WatchPrefix(""); }
+
+  // Ring capacity per series; 0 (default) = unbounded append. When capped,
+  // the newest samples win and dropped_samples() counts the overwritten.
+  void set_max_samples_per_series(size_t n) { max_samples_ = n; }
+
+  // Starts sampling every `period`, first tick after `first_delay`
+  // (defaults to 0: an immediate baseline sample). Restart re-paces.
+  void Start(TimeNs period, TimeNs first_delay = 0);
+  void Stop();
+  bool running() const { return running_; }
+
+  TimeNs period() const { return period_; }
+  uint64_t ticks() const { return ticks_; }
+  uint64_t dropped_samples() const { return dropped_; }
+
+  // Recorded series for `name`, oldest sample first (empty if never
+  // sampled). Materializes ring order; cheap for append-mode series.
+  std::vector<Sample> Series(const std::string& name) const;
+
+  // Names with at least one sample, sorted.
+  std::vector<std::string> SeriesNames() const;
+
+  // Visits every (name, samples oldest-first) pair in name order.
+  template <typename Fn>
+  void ForEachSeries(Fn&& fn) const {
+    for (const auto& [name, buf] : series_) {
+      fn(name, Unroll(buf));
+    }
+  }
+
+ private:
+  struct Ring {
+    std::vector<Sample> samples;
+    size_t head = 0;  // index of oldest when wrapped
+    bool wrapped = false;
+  };
+
+  static std::vector<Sample> Unroll(const Ring& ring);
+
+  void Tick();
+  void Append(const std::string& name, TimeNs t, double v);
+
+  Scheduler* scheduler_;
+  MetricRegistry* registry_;
+  std::vector<std::string> watches_;
+  std::vector<std::string> prefixes_;
+  std::map<std::string, Ring> series_;
+  TimeNs period_ = 0;
+  size_t max_samples_ = 0;
+  uint64_t ticks_ = 0;
+  uint64_t dropped_ = 0;
+  bool running_ = false;
+  Scheduler::EventId tick_event_;
+};
+
+// ---------------------------------------------------------------------------
+// Run exporter: manifest.json + metrics.jsonl + summary.json per run.
+// ---------------------------------------------------------------------------
+
+class Profiler;
+
+// Ordered key/value description of what ran (workload, protocol, topology,
+// seeds, flags). Values keep their JSON type; the exporter adds
+// schema_version, git_describe, and wall-clock timestamps itself.
+class RunManifest {
+ public:
+  void Set(const std::string& key, const std::string& value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;  // key -> pre-encoded JSON literal
+  }
+
+ private:
+  void SetLiteral(const std::string& key, std::string json);
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// `git describe --always --dirty` of the working tree, or "unknown" when
+// git/repo are unavailable. Cached after the first call (cold path only).
+const std::string& GitDescribe();
+
+// Writes the per-run directory (created if needed):
+//   dir/manifest.json   schema_version, git describe, timestamps, manifest
+//   dir/metrics.jsonl   one {"t_ns","name","v"} object per recorded sample
+//                       (empty file when recorder is null)
+//   dir/summary.json    final value of every registry metric, histogram
+//                       percentiles, and profiler sites (profiler may be null)
+// Returns false and fills *error on filesystem failure. Formats are stable
+// and validated by tools/telemetry_schema.py.
+bool WriteRunDirectory(const std::string& dir, const RunManifest& manifest,
+                       MetricRegistry& metrics, const TimeSeriesRecorder* recorder,
+                       const Profiler* profiler, std::string* error);
+
+// JSON string escaping for the exporter and tracers (exposed for tests).
+std::string JsonEscape(const std::string& s);
+// Finite doubles render with shortest round-trip precision; NaN/inf render
+// as null (JSON has no non-finite numbers).
+std::string JsonNumber(double v);
+
+}  // namespace tfc
+
+#endif  // SRC_SIM_TELEMETRY_H_

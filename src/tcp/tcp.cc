@@ -10,6 +10,9 @@ TcpSender::TcpSender(Network* network, Host* local, Host* remote, const TcpConfi
       cwnd_(config.initial_cwnd_segments * mss()),
       ssthresh_(static_cast<double>(config.transport.receive_window)) {
   InitializeReceiver();
+  metrics_.AddCallbackGauge(metric_prefix() + ".cwnd_bytes", [this] { return cwnd_; });
+  metrics_.AddCallbackGauge(metric_prefix() + ".ssthresh_bytes",
+                            [this] { return ssthresh_; });
 }
 
 bool TcpSender::CanSendMore(uint64_t inflight_payload) const {

@@ -35,6 +35,10 @@ void TfcReceiver::DecorateAck(const Packet& data, Packet& ack) {
 TfcSender::TfcSender(Network* network, Host* local, Host* remote, const TfcHostConfig& config)
     : ReliableSender(network, local, remote, config.transport), config_(config) {
   InitializeReceiver();
+  metrics_.AddCallbackGauge(metric_prefix() + ".cwnd_frame_bytes",
+                            [this] { return cwnd_frames_; });
+  metrics_.AddCallbackGauge(metric_prefix() + ".probes_sent",
+                            [this] { return static_cast<double>(probes_sent_); });
 }
 
 std::unique_ptr<ReliableReceiver> TfcSender::MakeReceiver() {

@@ -23,6 +23,7 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
       release_timer_(scheduler_, [this] { ReleaseParkedAcks(); }),
       counter_initial_(counter_bytes_),
       token_bound_hi_(config.token_boost_cap * bdp_bytes()),
+      metrics_(&owner->network()->metrics()),
       audit_registration_(&owner->network()->audit(),
                           "tfc.port:" + owner->name() + "." +
                               std::to_string(port->index()),
@@ -31,6 +32,30 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
   TFC_CHECK_MSG(config.rho0 > 0.0 && config.rho0 <= 1.0, "rho0=" << config.rho0);
   TFC_CHECK_MSG(config.history_weight >= 0.0 && config.history_weight < 1.0,
                 "history_weight=" << config.history_weight);
+  // The control-path signals behind the paper's Figs. 6-8, exposed as
+  // pull gauges (sampled by the telemetry recorder, free otherwise).
+  release_site_ = owner->network()->profiler().Site("tfc.release_parked");
+  failover_site_ = owner->network()->profiler().Site("tfc.failover");
+  // An agent built for a port that already has one (tests wrap or replace
+  // the installed agent) takes over the port's metric names.
+  metrics_.set_replace_on_collision(true);
+  const std::string prefix =
+      "tfc." + owner->name() + ".p" + std::to_string(port->index());
+  metrics_.AddCallbackGauge(prefix + ".token_bytes", [this] { return token_bytes_; });
+  metrics_.AddCallbackGauge(prefix + ".window_bytes", [this] { return window_bytes_; });
+  metrics_.AddCallbackGauge(prefix + ".effective_flows",
+                            [this] { return static_cast<double>(last_E_); });
+  metrics_.AddCallbackGauge(prefix + ".rho", [this] { return last_rho_; });
+  metrics_.AddCallbackGauge(prefix + ".rtt_b_ns",
+                            [this] { return static_cast<double>(rttb_); });
+  metrics_.AddCallbackGauge(prefix + ".rtt_m_ns",
+                            [this] { return static_cast<double>(rttm_last_); });
+  metrics_.AddCallbackGauge(prefix + ".parked_acks",
+                            [this] { return static_cast<double>(delay_queue_.size()); });
+  metrics_.AddCallbackGauge(prefix + ".delayed_acks_total",
+                            [this] { return static_cast<double>(delayed_acks_); });
+  metrics_.AddCallbackGauge(prefix + ".slots_completed",
+                            [this] { return static_cast<double>(slots_completed_); });
 }
 
 double TfcPortAgent::bdp_bytes() const {
@@ -230,6 +255,7 @@ void TfcPortAgent::ArmFailover() {
 }
 
 void TfcPortAgent::OnFailoverTimer() {
+  ProfileScope prof(&switch_->network()->profiler(), failover_site_);
   // The delimiter flow went silent: catch another RM packet as the new
   // delimiter. Back off exponentially while the port stays idle.
   want_new_delimiter_ = true;
@@ -321,6 +347,7 @@ void TfcPortAgent::ScheduleRelease() {
 }
 
 void TfcPortAgent::ReleaseParkedAcks() {
+  ProfileScope prof(&switch_->network()->profiler(), release_site_);
   RefillCounter();
   const double quantum = config_.delay_quantum;
   while (!delay_queue_.empty() && counter_bytes_ >= quantum) {

@@ -141,8 +141,16 @@ class TfcPortAgent : public PortAgent {
   double last_rho_ = 0.0;
   double token_bound_hi_;  // the upper clamp applied at the last EndSlot
 
-  // Keep last: registered with Network::audit(); must unregister (and thus
-  // be destroyed) before any state AuditInvariants reads.
+  // Shared profiler sites ("tfc.release_parked", "tfc.failover").
+  ProfileSite* release_site_ = nullptr;
+  ProfileSite* failover_site_ = nullptr;
+
+  // Keep these last: registered with Network::audit()/metrics(); their
+  // callbacks capture `this`, so they must unregister (and thus be
+  // destroyed) before any state the callbacks read.
+  // Metric gauges "tfc.<switch>.p<index>.*": the exact signals behind the
+  // paper's Figs. 6-8 (token counter, N, rho, rtt_b, parked-ACK queue).
+  ScopedMetrics metrics_;
   ScopedAudit audit_registration_;
 };
 

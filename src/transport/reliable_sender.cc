@@ -18,6 +18,23 @@ ReliableSender::ReliableSender(Network* network, Host* local, Host* remote,
       rto_timer_(&network->scheduler(), [this] { HandleTimeout(); }) {
   TFC_CHECK_NE(local_, remote_);
   local_->RegisterEndpoint(flow_id_, this);
+  rto_site_ = network->profiler().Site("transport.rto");
+  metrics_.Reset(&network->metrics());
+  const std::string prefix = metric_prefix();
+  metrics_.AddCallbackGauge(prefix + ".acked_bytes",
+                            [this] { return static_cast<double>(snd_una_); });
+  // Guard: the receiver is created later by InitializeReceiver, and a
+  // recorder with first_delay=0 may sample before data ever flows.
+  metrics_.AddCallbackGauge(prefix + ".delivered_bytes", [this] {
+    return receiver_ != nullptr ? static_cast<double>(receiver_->delivered_bytes()) : 0.0;
+  });
+  metrics_.AddCallbackGauge(prefix + ".srtt_ns",
+                            [this] { return static_cast<double>(srtt_); });
+  metrics_.AddCallbackGauge(prefix + ".timeouts",
+                            [this] { return static_cast<double>(stats_.timeouts); });
+  metrics_.AddCallbackGauge(prefix + ".retransmits", [this] {
+    return static_cast<double>(stats_.retransmits);
+  });
 }
 
 ReliableSender::~ReliableSender() { local_->UnregisterEndpoint(flow_id_); }
@@ -264,6 +281,7 @@ void ReliableSender::HandleAck(PacketPtr pkt) {
 void ReliableSender::BackOffRto() { rto_ = std::min(rto_ * 2, config_.rto_max); }
 
 void ReliableSender::HandleTimeout() {
+  ProfileScope prof(&network_->profiler(), rto_site_);
   switch (state_) {
     case State::kSynSent: {
       ++stats_.timeouts;

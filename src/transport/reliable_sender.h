@@ -24,9 +24,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "src/net/host.h"
 #include "src/net/packet.h"
+#include "src/sim/profile.h"
+#include "src/sim/telemetry.h"
 #include "src/sim/timer.h"
 #include "src/transport/flow_stats.h"
 #include "src/transport/reliable_receiver.h"
@@ -173,6 +176,14 @@ class ReliableSender : public Endpoint {
   // (creates the receiver via the MakeReceiver virtual).
   void InitializeReceiver();
 
+  // Telemetry name prefix for this flow: "flow.<id>". The base class
+  // registers .acked_bytes/.delivered_bytes/.srtt_ns/.timeouts/.retransmits
+  // gauges; congestion-control subclasses add their state (cwnd, alpha)
+  // through the same ScopedMetrics so everything unregisters together when
+  // the flow is destroyed.
+  std::string metric_prefix() const { return "flow." + std::to_string(flow_id_); }
+  ScopedMetrics metrics_;
+
  private:
   void HandleAck(PacketPtr pkt);
   void HandleTimeout();
@@ -207,6 +218,7 @@ class ReliableSender : public Endpoint {
   TimeNs rto_;
 
   Timer rto_timer_;
+  ProfileSite* rto_site_ = nullptr;  // shared "transport.rto" site
   FlowStats stats_;
   bool drained_notified_ = true;
   bool in_tx_empty_callback_ = false;

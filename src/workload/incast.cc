@@ -11,12 +11,22 @@ IncastApp::IncastApp(Network* net, const ProtocolSuite& suite, Host* receiver,
     : net_(net), config_(config) {
   TFC_CHECK(!senders.empty());
   TFC_CHECK_GT(config.rounds, 0);
-  for (Host* s : senders) {
+  block_fcts_.resize(senders.size());
+  for (size_t i = 0; i < senders.size(); ++i) {
+    Host* s = senders[i];
     TFC_CHECK_NE(s, receiver);
     auto flow = suite.MakeSender(net, s, receiver);
-    flow->on_drained = [this] { OnFlowDrained(); };
+    flow->on_drained = [this, i] { OnFlowDrained(i); };
     flows_.push_back(std::move(flow));
   }
+  // FCT sink: every block completion lands in both the per-flow sample sets
+  // and the registry histogram, so telemetry runs export the incast FCT
+  // distribution without touching the app. Keyed by receiver so several
+  // incast apps on one network do not collide.
+  metrics_.Reset(&net->metrics());
+  const std::string prefix = "incast." + receiver->name();
+  rounds_counter_ = metrics_.AddCounter(prefix + ".rounds_completed");
+  fct_hist_ = metrics_.AddHistogram(prefix + ".block_fct_us");
 }
 
 void IncastApp::Start() {
@@ -31,17 +41,22 @@ void IncastApp::Start() {
 
 void IncastApp::BeginRound() {
   pending_in_round_ = static_cast<int>(flows_.size());
+  round_start_ = net_->scheduler().now();
   for (auto& f : flows_) {
     f->Write(config_.block_bytes);
   }
 }
 
-void IncastApp::OnFlowDrained() {
+void IncastApp::OnFlowDrained(size_t flow_index) {
   TFC_CHECK_GT(pending_in_round_, 0);
+  const TimeNs fct = net_->scheduler().now() - round_start_;
+  block_fcts_[flow_index].Add(ToSeconds(fct));
+  fct_hist_->Record(static_cast<uint64_t>(std::max<TimeNs>(fct / kMicrosecond, 0)));
   if (--pending_in_round_ > 0) {
     return;
   }
   ++rounds_completed_;
+  rounds_counter_->Add();
   if (rounds_completed_ >= config_.rounds) {
     finished_ = true;
     finish_time_ = net_->scheduler().now();
@@ -83,6 +98,16 @@ double IncastApp::max_timeouts_per_block() const {
     worst = std::max(worst, static_cast<double>(f->stats().timeouts) / rounds);
   }
   return worst;
+}
+
+SampleSet IncastApp::MergedBlockFcts() const {
+  SampleSet merged;
+  for (const SampleSet& per_flow : block_fcts_) {
+    for (double s : per_flow.samples()) {
+      merged.Add(s);
+    }
+  }
+  return merged;
 }
 
 }  // namespace tfc

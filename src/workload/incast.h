@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/sim/stats.h"
+#include "src/sim/telemetry.h"
 #include "src/workload/protocol.h"
 
 namespace tfc {
@@ -50,18 +52,32 @@ class IncastApp {
 
   const std::vector<std::unique_ptr<ReliableSender>>& flows() const { return flows_; }
 
+  // Per-flow block completion times (one sample per block, in seconds):
+  // the incast FCT sink. Also exported to the telemetry registry as the
+  // "incast.block_fct_us" histogram plus "incast.rounds_completed".
+  const SampleSet& block_fcts(size_t flow_index) const {
+    return block_fcts_.at(flow_index);
+  }
+  // All flows' block FCT samples merged (for percentile queries).
+  SampleSet MergedBlockFcts() const;
+
  private:
   void BeginRound();
-  void OnFlowDrained();
+  void OnFlowDrained(size_t flow_index);
 
   Network* net_;
   IncastConfig config_;
   std::vector<std::unique_ptr<ReliableSender>> flows_;
+  std::vector<SampleSet> block_fcts_;  // seconds, one SampleSet per flow
   int pending_in_round_ = 0;
   int rounds_completed_ = 0;
   bool finished_ = false;
   TimeNs start_time_ = 0;
   TimeNs finish_time_ = 0;
+  TimeNs round_start_ = 0;
+  ScopedMetrics metrics_;
+  Counter* rounds_counter_ = nullptr;
+  Histogram* fct_hist_ = nullptr;  // microseconds
 };
 
 }  // namespace tfc

@@ -234,6 +234,22 @@ TEST(SampleSetTest, PercentilesInterpolate) {
   EXPECT_NEAR(s.Percentile(99), 99.01, 0.01);
 }
 
+TEST(SampleSetTest, BatchPercentilesMatchSingleQueries) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) {
+    s.Add(i);
+  }
+  const std::vector<double> ps = {0, 25, 50, 99, 100};
+  const std::vector<double> batch = s.Percentiles(ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], s.Percentile(ps[i])) << "p=" << ps[i];
+  }
+
+  SampleSet empty;
+  EXPECT_EQ(empty.Percentiles({50, 99}), (std::vector<double>{0.0, 0.0}));
+}
+
 TEST(JainFairnessTest, KnownValues) {
   EXPECT_DOUBLE_EQ(JainFairness({1, 1, 1, 1}), 1.0);
   EXPECT_NEAR(JainFairness({1, 0, 0, 0}), 0.25, 1e-12);

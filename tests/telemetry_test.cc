@@ -1,0 +1,433 @@
+// Telemetry layer tests: registry mechanics (ownership, collisions, audit),
+// histogram bucket math, recorder cadence/drain semantics, and the run
+// exporter's JSON formats (round-tripped through the schema the files
+// promise in docs/observability.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/audit.h"
+#include "src/sim/profile.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/telemetry.h"
+
+namespace tfc {
+namespace {
+
+// --- MetricRegistry ---------------------------------------------------------
+
+TEST(MetricRegistryTest, CountersGaugesAndCallbacksReadBack) {
+  MetricRegistry registry;
+  Counter* c = registry.AddCounter("c");
+  Gauge* g = registry.AddGauge("g");
+  double source = 7.5;
+  registry.AddCallbackGauge("cb", [&source] { return source; });
+
+  c->Add();
+  c->Add(41);
+  g->Set(-2.25);
+
+  double v = 0;
+  ASSERT_TRUE(registry.Read("c", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  ASSERT_TRUE(registry.Read("g", &v));
+  EXPECT_DOUBLE_EQ(v, -2.25);
+  ASSERT_TRUE(registry.Read("cb", &v));
+  EXPECT_DOUBLE_EQ(v, 7.5);
+  source = 8.5;
+  ASSERT_TRUE(registry.Read("cb", &v));
+  EXPECT_DOUBLE_EQ(v, 8.5);
+
+  EXPECT_FALSE(registry.Read("missing", &v));
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_TRUE(registry.Has("c"));
+  registry.Unregister("c");
+  EXPECT_FALSE(registry.Has("c"));
+}
+
+TEST(MetricRegistryTest, ForEachNameVisitsInNameOrder) {
+  MetricRegistry registry;
+  registry.AddGauge("z");
+  registry.AddCounter("a");
+  registry.AddHistogram("m");
+
+  std::vector<std::string> names;
+  std::vector<MetricKind> kinds;
+  registry.ForEachName([&](const std::string& name, MetricKind kind) {
+    names.push_back(name);
+    kinds.push_back(kind);
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "m", "z"}));
+  EXPECT_EQ(kinds[0], MetricKind::kCounter);
+  EXPECT_EQ(kinds[1], MetricKind::kHistogram);
+  EXPECT_EQ(kinds[2], MetricKind::kGauge);
+}
+
+TEST(MetricRegistryDeathTest, DuplicateNameAborts) {
+  MetricRegistry registry;
+  registry.AddCounter("dup");
+  EXPECT_DEATH(registry.AddCounter("dup"), "duplicate metric name: dup");
+  // Across kinds too: a gauge cannot shadow a counter.
+  EXPECT_DEATH(registry.AddGauge("dup"), "duplicate metric name: dup");
+}
+
+TEST(ScopedMetricsTest, UnregistersOnDestructionAndReset) {
+  MetricRegistry registry;
+  {
+    ScopedMetrics scoped(&registry);
+    scoped.AddCounter("s.c");
+    scoped.AddGauge("s.g");
+    EXPECT_EQ(registry.size(), 2u);
+    scoped.Reset(&registry);  // rebind unregisters previous names
+    EXPECT_EQ(registry.size(), 0u);
+    scoped.AddHistogram("s.h");
+    EXPECT_EQ(registry.size(), 1u);
+  }
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ScopedMetricsTest, ReplaceOnCollisionHandsOverOwnership) {
+  MetricRegistry registry;
+  ScopedMetrics first(&registry);
+  Counter* c1 = first.AddCounter("shared");
+  c1->Add(5);
+
+  ScopedMetrics second(&registry);
+  second.set_replace_on_collision(true);
+  Counter* c2 = second.AddCounter("shared");
+  EXPECT_EQ(c2->value(), 0u);  // fresh metric, not the displaced one's 5
+  c2->Add(1);
+  double v = 0;
+  ASSERT_TRUE(registry.Read("shared", &v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+
+  // The displaced owner's cleanup must not remove the new owner's entry.
+  first.Reset(nullptr);
+  EXPECT_TRUE(registry.Has("shared"));
+  ASSERT_TRUE(registry.Read("shared", &v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+
+  second.Reset(nullptr);
+  EXPECT_FALSE(registry.Has("shared"));
+}
+
+TEST(MetricRegistryTest, CounterMonotonicityAudit) {
+  MetricRegistry registry;
+  Counter* good = registry.AddCounter("good");
+  Counter* bad = registry.AddCounter("bad");
+  good->Add(10);
+  bad->Add(10);
+
+  AuditReport report;
+  Auditor auditor(&report);
+  registry.AuditInvariants(auditor);
+  EXPECT_TRUE(report.ok());
+
+  good->Add(1);          // fine: still monotone
+  bad->ResetForTest();   // regression: value went backwards
+  AuditReport second;
+  Auditor auditor2(&second);
+  registry.AuditInvariants(auditor2);
+  ASSERT_EQ(second.failures.size(), 1u);
+  EXPECT_NE(second.failures[0].detail.find("bad"), std::string::npos);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, SmallValuesAreExactAndBoundariesAreContinuous) {
+  // Below kSub (16) every value has its own bucket.
+  for (uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<int>(v)) << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+  // The 15 -> 16 and 31 -> 32 octave seams: indexes advance by exactly one
+  // bucket and lower bounds match the values.
+  EXPECT_EQ(Histogram::BucketIndex(16), Histogram::BucketIndex(15) + 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(16)), 16u);
+  EXPECT_EQ(Histogram::BucketIndex(31), Histogram::BucketIndex(32) - 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(32)), 32u);
+
+  // Global continuity: every bucket's upper bound is the next bucket's
+  // lower bound, and BucketIndex(lower_bound(b)) == b.
+  for (int b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketUpperBound(b), Histogram::BucketLowerBound(b + 1)) << b;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(b)), b) << b;
+  }
+  // Boundary values land in the bucket they open, one less in the previous.
+  for (uint64_t v : {16ull, 32ull, 1024ull, 1ull << 40}) {
+    EXPECT_EQ(Histogram::BucketIndex(v - 1) + 1, Histogram::BucketIndex(v)) << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v) << v;
+  }
+}
+
+TEST(HistogramTest, RecordAndSummaryStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500'500u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+
+  // Log-linear percentiles are upper bounds within one sub-bucket (6.25%).
+  EXPECT_GE(h.Percentile(50), 500u);
+  EXPECT_LE(h.Percentile(50), 532u);
+  EXPECT_GE(h.Percentile(99), 990u);
+  EXPECT_LE(h.Percentile(99), 1000u);  // clamped to observed max
+  EXPECT_EQ(h.Percentile(100), 1000u);
+  EXPECT_EQ(h.Percentile(0), 1u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+// --- TimeSeriesRecorder -----------------------------------------------------
+
+TEST(TimeSeriesRecorderTest, SamplesOnCadenceWithoutPerturbingPending) {
+  Scheduler sched;
+  MetricRegistry registry;
+  Gauge* g = registry.AddGauge("g");
+
+  TimeSeriesRecorder recorder(&sched, &registry);
+  recorder.Watch("g");
+  recorder.Start(Microseconds(10));
+
+  // The armed daemon tick is invisible to user-event accounting.
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.daemon_pending(), 1u);
+
+  // A user event ramps the gauge; drain-mode Run() must return even though
+  // the recorder would re-arm forever.
+  sched.ScheduleAt(Microseconds(25), [g] { g->Set(1.0); });
+  sched.Run();
+  EXPECT_EQ(sched.pending(), 0u);
+
+  // Ticks at t=0, 10us, 20us fired before the queue drained (the 25us user
+  // event kept the 20us tick eligible; the re-armed 30us tick did not run).
+  std::vector<TimeSeriesRecorder::Sample> s = recorder.Series("g");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].t, 0);
+  EXPECT_EQ(s[1].t, Microseconds(10));
+  EXPECT_EQ(s[2].t, Microseconds(20));
+  EXPECT_DOUBLE_EQ(s[2].v, 0.0);  // gauge set at 25us, after the 20us tick
+
+  recorder.Stop();
+  EXPECT_EQ(sched.daemon_pending(), 0u);
+  EXPECT_FALSE(recorder.running());
+}
+
+TEST(TimeSeriesRecorderTest, FirstDelayAndRestartRepace) {
+  Scheduler sched;
+  MetricRegistry registry;
+  Gauge* g = registry.AddGauge("g");
+  g->Set(3.0);
+
+  TimeSeriesRecorder recorder(&sched, &registry);
+  recorder.Watch("g");
+  recorder.Start(Microseconds(10), /*first_delay=*/Microseconds(5));
+  sched.ScheduleAt(Microseconds(16), [] {});
+  sched.Run();
+  std::vector<TimeSeriesRecorder::Sample> s = recorder.Series("g");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].t, Microseconds(5));
+  EXPECT_EQ(s[1].t, Microseconds(15));
+
+  // Restart re-paces from "now" with the new period.
+  recorder.Start(Microseconds(2));
+  sched.ScheduleAt(Microseconds(21), [] {});
+  sched.Run();
+  s = recorder.Series("g");
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[2].t, Microseconds(16));
+  EXPECT_EQ(s[3].t, Microseconds(18));
+  EXPECT_EQ(s[4].t, Microseconds(20));
+  EXPECT_EQ(recorder.ticks(), 5u);
+}
+
+TEST(TimeSeriesRecorderTest, PrefixWatchPicksUpLateMetrics) {
+  Scheduler sched;
+  MetricRegistry registry;
+  registry.AddGauge("app.early")->Set(1.0);
+
+  TimeSeriesRecorder recorder(&sched, &registry);
+  recorder.WatchPrefix("app.");
+  recorder.Start(Microseconds(10));
+  sched.ScheduleAt(Microseconds(15), [&registry] {
+    registry.AddGauge("app.late")->Set(2.0);
+  });
+  sched.ScheduleAt(Microseconds(21), [] {});
+  sched.Run();
+
+  EXPECT_EQ(recorder.Series("app.early").size(), 3u);  // t=0,10,20
+  std::vector<TimeSeriesRecorder::Sample> late = recorder.Series("app.late");
+  ASSERT_EQ(late.size(), 1u);  // only the t=20us tick saw it
+  EXPECT_EQ(late[0].t, Microseconds(20));
+  EXPECT_EQ(recorder.SeriesNames(),
+            (std::vector<std::string>{"app.early", "app.late"}));
+}
+
+TEST(TimeSeriesRecorderTest, RingCapKeepsNewestAndCountsDrops) {
+  Scheduler sched;
+  MetricRegistry registry;
+  uint64_t n = 0;
+  registry.AddCallbackGauge("n", [&n] { return static_cast<double>(n++); });
+
+  TimeSeriesRecorder recorder(&sched, &registry);
+  recorder.Watch("n");
+  recorder.set_max_samples_per_series(3);
+  recorder.Start(Microseconds(1));
+  sched.ScheduleAt(Microseconds(9), [] {});
+  sched.Run();
+  // Ticks fire at 0..8us (at t=9 the user event pops first on FIFO order,
+  // after which only the re-armed daemon remains and drain mode stops):
+  // 9 samples through a 3-deep ring keeps the newest 3.
+  std::vector<TimeSeriesRecorder::Sample> s = recorder.Series("n");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].t, Microseconds(6));
+  EXPECT_EQ(s[2].t, Microseconds(8));
+  EXPECT_DOUBLE_EQ(s[2].v, 8.0);
+  EXPECT_EQ(recorder.dropped_samples(), 6u);
+}
+
+// --- Exporter ---------------------------------------------------------------
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(ExporterTest, JsonEscapeAndNumber) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("tab\there\n"), "tab\\there\\n");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(ExporterTest, RunDirectoryGoldenRoundTrip) {
+  Scheduler sched;
+  MetricRegistry registry;
+  Profiler profiler(&registry);
+  registry.AddCounter("events")->Add(3);
+  Gauge* q = registry.AddGauge("queue");
+  Histogram* h = registry.AddHistogram("fct_us");
+  h->Record(10);
+  h->Record(20);
+  ProfileSite* site = profiler.Site("test.site");
+  site->Hit();
+  site->AddSim(50);
+
+  TimeSeriesRecorder recorder(&sched, &registry);
+  recorder.Watch("queue");
+  recorder.Start(Microseconds(10));
+  sched.ScheduleAt(Microseconds(5), [q] { q->Set(1500.0); });
+  sched.ScheduleAt(Microseconds(12), [] {});
+  sched.Run();
+  recorder.Stop();
+
+  RunManifest manifest;
+  manifest.Set("workload", "unit\"test");
+  manifest.SetInt("seed", 7);
+  manifest.SetDouble("duration_s", 0.5);
+  manifest.SetBool("quick", true);
+
+  const std::string dir = testing::TempDir() + "/telemetry_golden";
+  std::string error;
+  ASSERT_TRUE(WriteRunDirectory(dir, manifest, registry, &recorder, &profiler,
+                                &error))
+      << error;
+
+  // metrics.jsonl is fully deterministic: golden-compare it whole.
+  EXPECT_EQ(Slurp(dir + "/metrics.jsonl"),
+            "{\"t_ns\": 0, \"name\": \"queue\", \"v\": 0}\n"
+            "{\"t_ns\": 10000, \"name\": \"queue\", \"v\": 1500}\n");
+
+  // The manifest carries the verbatim run section (with escaping) plus the
+  // exporter's own provenance keys.
+  const std::string manifest_text = Slurp(dir + "/manifest.json");
+  EXPECT_NE(manifest_text.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(manifest_text.find("\"git_describe\": "), std::string::npos);
+  EXPECT_NE(manifest_text.find("\"workload\": \"unit\\\"test\""), std::string::npos);
+  EXPECT_NE(manifest_text.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(manifest_text.find("\"duration_s\": 0.5"), std::string::npos);
+  EXPECT_NE(manifest_text.find("\"quick\": true"), std::string::npos);
+
+  // summary.json: every metric's final value, histogram stats with sparse
+  // buckets, and the profiler site.
+  const std::string summary = Slurp(dir + "/summary.json");
+  EXPECT_NE(summary.find("\"events\": 3"), std::string::npos);
+  EXPECT_NE(summary.find("\"queue\": 1500"), std::string::npos);
+  EXPECT_NE(summary.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(summary.find("\"buckets\": [[10, 11, 1], [20, 21, 1]]"),
+            std::string::npos);
+  EXPECT_NE(summary.find("\"test.site\": {\"hits\": 1, \"sim_ns\": 50, "
+                         "\"wall_ns\": 0}"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, WriteFailureReportsError) {
+  MetricRegistry registry;
+  RunManifest manifest;
+  std::string error;
+  EXPECT_FALSE(WriteRunDirectory("/proc/definitely/not/writable", manifest,
+                                 registry, nullptr, nullptr, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Profiler ---------------------------------------------------------------
+
+TEST(ProfilerTest, SitesRegisterGaugesAndScopeCounts) {
+  MetricRegistry registry;
+  Profiler profiler(&registry);
+  ProfileSite* site = profiler.Site("x.y");
+  EXPECT_EQ(profiler.Site("x.y"), site);  // get-or-create
+  EXPECT_EQ(profiler.site_count(), 1u);
+
+  {
+    ProfileScope scope(&profiler, site);
+  }
+  {
+    ProfileScope scope(&profiler, site);
+  }
+  EXPECT_EQ(site->hits(), 2u);
+
+  double v = 0;
+  ASSERT_TRUE(registry.Read("profile.x.y.hits", &v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  ASSERT_TRUE(registry.Read("profile.x.y.wall_ns", &v));
+  ASSERT_TRUE(registry.Read("profile.x.y.sim_ns", &v));
+
+  // Disabled profiler (the default unless TFC_PROFILE is set): hits count,
+  // wall clock is never read.
+  if (!profiler.enabled()) {
+    EXPECT_EQ(site->wall_ns(), 0u);
+  }
+
+  // Null-safe: a scope on a component with no profiler wired is a no-op.
+  ProfileScope inert(nullptr, nullptr);
+}
+
+}  // namespace
+}  // namespace tfc

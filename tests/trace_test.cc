@@ -116,6 +116,142 @@ TEST(TraceTest, FlowFilterSelectsOneFlow) {
   EXPECT_NE(out.str().find(needle2), std::string::npos);
 }
 
+// Direct OnEvent tests: hand the tracer a crafted event and pin the exact
+// rendered line, so format drift is caught without a full simulation run.
+TEST(TraceTest, DirectEventRendersExactLine) {
+  TracedDumbbell d;
+  Port* port = Network::FindPort(d.s, d.b);
+
+  Packet pkt;
+  pkt.flow_id = 7;
+  pkt.type = PacketType::kData;
+  pkt.seq = 14600;
+  pkt.payload = 1460;
+  pkt.rm = true;
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  TraceEvent event{/*time=*/Microseconds(3'021'840), TraceEventType::kEnqueue,
+                   &pkt, d.s, port};
+  tracer.OnEvent(event);
+
+  EXPECT_EQ(out.str(), "3.021840 + s:p1 DATA f=7 seq=14600 len=1460 rm q=0\n");
+  EXPECT_EQ(tracer.events_written(), 1u);
+}
+
+TEST(TraceTest, DirectDeliverEventOmitsPortAndShowsFlags) {
+  TracedDumbbell d;
+
+  Packet pkt;
+  pkt.flow_id = 3;
+  pkt.type = PacketType::kAck;
+  pkt.seq = 1;
+  pkt.rma = true;
+  pkt.window = 2920;
+  pkt.ecn_ce = true;
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  tracer.OnEvent({Seconds(1.5), TraceEventType::kDeliver, &pkt, d.b, nullptr});
+
+  EXPECT_EQ(out.str(), "1.500000 r b ACK f=3 seq=1 len=0 rma w=2920 ce\n");
+}
+
+TEST(TraceTest, NodeFilterSelectsOneNode) {
+  TracedDumbbell d;
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  tracer.set_node_filter("s");
+  d.net.set_tracer(&tracer);
+
+  TcpSender flow(&d.net, d.a, d.b, TcpConfig());
+  flow.Write(50'000);
+  flow.Close();
+  flow.Start();
+  d.net.scheduler().Run();
+
+  const std::string text = out.str();
+  EXPECT_GT(tracer.events_written(), 0u);
+  // Every line names the switch; no host-side events leak through. Host
+  // events would render as "+ a:p0", "+ b:p0", or deliveries "r a"/"r b".
+  EXPECT_NE(text.find(" s:p"), std::string::npos);
+  EXPECT_EQ(text.find(" a:p"), std::string::npos);
+  EXPECT_EQ(text.find(" b:p"), std::string::npos);
+  EXPECT_EQ(text.find(" r a "), std::string::npos);
+  EXPECT_EQ(text.find(" r b "), std::string::npos);
+}
+
+TEST(TraceTest, PortFilterSelectsOnePortAndExcludesDelivers) {
+  TracedDumbbell d;
+  Port* to_b = Network::FindPort(d.s, d.b);
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  tracer.set_node_filter("s");
+  tracer.set_port_filter(to_b->index());
+  d.net.set_tracer(&tracer);
+
+  TcpSender flow(&d.net, d.a, d.b, TcpConfig());
+  flow.Write(50'000);
+  flow.Close();
+  flow.Start();
+  d.net.scheduler().Run();
+
+  const std::string text = out.str();
+  EXPECT_GT(tracer.events_written(), 0u);
+  const std::string wanted = ":p" + std::to_string(to_b->index());
+  // Only the bottleneck port appears: the switch's other port (toward a)
+  // carries the ACK stream and must be filtered out, as are deliveries
+  // (they have no port).
+  EXPECT_NE(text.find(wanted), std::string::npos);
+  for (const auto& port : d.s->ports()) {
+    if (port->index() == to_b->index()) {
+      continue;
+    }
+    EXPECT_EQ(text.find(":p" + std::to_string(port->index())), std::string::npos);
+  }
+  EXPECT_EQ(text.find(" r "), std::string::npos);
+}
+
+TEST(TraceTest, CountingTracerDropAccountingUnderFullBuffer) {
+  // A buffer of two frames forces sustained tail drops at the bottleneck.
+  LinkOptions opts;
+  opts.switch_buffer_bytes = 2 * 1518;
+  TracedDumbbell d(opts);
+  Host* a2 = d.net.AddHost("a2");
+  d.net.Link(a2, d.s, kGbps, Microseconds(5), opts);
+  d.net.BuildRoutes();
+
+  CountingTracer tracer;
+  d.net.set_tracer(&tracer);
+  TcpSender f1(&d.net, d.a, d.b, TcpConfig());
+  TcpSender f2(&d.net, a2, d.b, TcpConfig());
+  f1.Write(1'000'000);
+  f2.Write(1'000'000);
+  f1.Start();
+  f2.Start();
+  d.net.scheduler().RunUntil(Milliseconds(100));
+
+  uint64_t port_drops = 0;
+  for (const auto& node : d.net.nodes()) {
+    for (const auto& port : node->ports()) {
+      port_drops += port->drops();
+    }
+  }
+  EXPECT_GT(tracer.drops, 0u);
+  // Every drop anywhere is traced exactly once...
+  EXPECT_EQ(tracer.drops, port_drops);
+  // ...and drops never show up as enqueues: what entered a queue either
+  // left on the wire or is still sitting in some queue right now.
+  uint64_t queued_frames = 0;
+  for (const auto& node : d.net.nodes()) {
+    for (const auto& port : node->ports()) {
+      queued_frames += port->queue_packets();
+    }
+  }
+  EXPECT_EQ(tracer.enqueues, tracer.transmits + queued_frames);
+}
+
 TEST(TraceTest, NoTracerMeansNoOverheadPathStillWorks) {
   TracedDumbbell d;
   EXPECT_EQ(d.net.tracer(), nullptr);

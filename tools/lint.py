@@ -14,6 +14,13 @@ Rules enforced (see docs/correctness.md):
   bare-assert     use TFC_CHECK / TFC_DCHECK (src/sim/check.h), which print
                   context and abort under all build types; bare assert()
                   vanishes in NDEBUG builds. static_assert is fine.
+  hot-io          src/sim, src/net, and src/tfc are simulation hot paths:
+                  no stream/printf I/O there (std::cout, printf, ofstream,
+                  ...). Observability goes through the metric registry /
+                  tracer / exporter (src/sim/telemetry.h) so the per-event
+                  cost is a pointer bump, not formatting. The tracer and
+                  exporter implementations themselves are allowlisted.
+                  Suppress a sanctioned site with `// lint:allow hot-io`.
 
 Exit status: 0 when clean, 1 when any violation is found.
 """
@@ -37,6 +44,22 @@ LINE_COMMENT_RE = re.compile(r"//.*$")
 ROOT_PREFIXES = tuple(f"{d}/" for d in SCAN_DIRS)
 HOT_LAYERS = ("src/sim/", "src/net/")
 POOL_FILE = "src/net/packet_pool.h"
+
+# hot-io: stream/printf I/O is banned in the simulation hot layers. The
+# tracer and the telemetry exporter are the sanctioned I/O funnels; check.h
+# prints on the abort path only.
+HOT_IO_LAYERS = ("src/sim/", "src/net/", "src/tfc/")
+HOT_IO_ALLOWED_FILES = {
+    "src/net/trace.h",
+    "src/net/trace.cc",
+    "src/sim/telemetry.h",
+    "src/sim/telemetry.cc",
+    "src/sim/check.h",
+}
+HOT_IO_RE = re.compile(
+    r"\bstd::(cout|cerr|clog|ofstream|fstream|printf|fprintf)\b"
+    r"|(?<![A-Za-z0-9_:])(printf|fprintf|fputs|fwrite|puts)\s*\("
+)
 
 
 def allow(line: str, tag: str) -> bool:
@@ -74,6 +97,17 @@ def lint_file(path: Path, rel: str) -> list[str]:
             errors.append(
                 f"{rel}:{lineno}: [bare-assert] use TFC_CHECK / TFC_DCHECK "
                 "(src/sim/check.h) instead of assert()"
+            )
+        if (
+            HOT_IO_RE.search(code)
+            and rel.startswith(HOT_IO_LAYERS)
+            and rel not in HOT_IO_ALLOWED_FILES
+            and not allow(raw, "hot-io")
+        ):
+            errors.append(
+                f"{rel}:{lineno}: [hot-io] no stream/printf I/O in hot-path "
+                "layers; use the metric registry / tracer / exporter "
+                "(src/sim/telemetry.h)"
             )
     return errors
 

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validator for telemetry run directories (stdlib only; used by ci.sh).
+
+Usage: telemetry_schema.py RUN_DIR [RUN_DIR ...]
+
+Checks the three files the exporter (src/sim/telemetry.cc) writes per run:
+
+  manifest.json   object with schema_version == 1, git_describe,
+                  created_unix / created_utc, and a "run" object.
+  metrics.jsonl   one sample object {"t_ns", "name", "v"} per line;
+                  t_ns is a non-negative integer and non-decreasing per
+                  series; v is a number or null (non-finite sample).
+  summary.json    schema_version == 1 plus counters / gauges / histograms /
+                  profile sections with the shapes documented in
+                  docs/observability.md.
+
+Exit status: 0 when every directory validates, 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, where: str, msg: str) -> None:
+        self.errors.append(f"{where}: {msg}")
+
+    def expect(self, cond: bool, where: str, msg: str) -> bool:
+        if not cond:
+            self.error(where, msg)
+        return cond
+
+
+def is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_uint(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def load_json(path: Path, ck: Checker):
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except FileNotFoundError:
+        ck.error(str(path), "missing")
+    except json.JSONDecodeError as e:
+        ck.error(str(path), f"invalid JSON: {e}")
+    return None
+
+
+def check_manifest(path: Path, ck: Checker) -> None:
+    doc = load_json(path, ck)
+    if doc is None:
+        return
+    where = str(path)
+    if not ck.expect(isinstance(doc, dict), where, "top level must be an object"):
+        return
+    ck.expect(doc.get("schema_version") == SCHEMA_VERSION, where,
+              f"schema_version must be {SCHEMA_VERSION}, got {doc.get('schema_version')!r}")
+    ck.expect(isinstance(doc.get("git_describe"), str) and doc.get("git_describe"),
+              where, "git_describe must be a non-empty string")
+    ck.expect(is_uint(doc.get("created_unix")), where,
+              "created_unix must be a non-negative integer")
+    created_utc = doc.get("created_utc")
+    ck.expect(isinstance(created_utc, str) and created_utc.endswith("Z"),
+              where, "created_utc must be an ISO-8601 UTC string ending in Z")
+    ck.expect(isinstance(doc.get("run"), dict), where, '"run" must be an object')
+
+
+def check_metrics_jsonl(path: Path, ck: Checker) -> int:
+    where = str(path)
+    if not path.exists():
+        ck.error(where, "missing")
+        return 0
+    last_t = {}  # series name -> last t_ns
+    lines = 0
+    with path.open() as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            lines += 1
+            loc = f"{where}:{lineno}"
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as e:
+                ck.error(loc, f"invalid JSON: {e}")
+                continue
+            if not ck.expect(isinstance(obj, dict), loc, "sample must be an object"):
+                continue
+            ck.expect(set(obj.keys()) == {"t_ns", "name", "v"}, loc,
+                      f'sample keys must be exactly t_ns/name/v, got {sorted(obj.keys())}')
+            name = obj.get("name")
+            t_ns = obj.get("t_ns")
+            v = obj.get("v")
+            ck.expect(isinstance(name, str) and name, loc, "name must be a non-empty string")
+            ck.expect(v is None or is_number(v), loc, "v must be a number or null")
+            if not ck.expect(is_uint(t_ns), loc, "t_ns must be a non-negative integer"):
+                continue
+            if isinstance(name, str):
+                prev = last_t.get(name)
+                ck.expect(prev is None or t_ns >= prev, loc,
+                          f"t_ns went backwards for series {name!r}: {prev} -> {t_ns}")
+                last_t[name] = t_ns
+    return lines
+
+
+def check_histogram(h, where: str, ck: Checker) -> None:
+    if not ck.expect(isinstance(h, dict), where, "histogram must be an object"):
+        return
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99", "p999"):
+        ck.expect(is_uint(h.get(key)), where, f"{key} must be a non-negative integer")
+    ck.expect(is_number(h.get("mean")), where, "mean must be a number")
+    buckets = h.get("buckets")
+    if not ck.expect(isinstance(buckets, list), where, "buckets must be a list"):
+        return
+    total = 0
+    for i, b in enumerate(buckets):
+        loc = f"{where} bucket[{i}]"
+        if not ck.expect(isinstance(b, list) and len(b) == 3, loc,
+                         "bucket must be [lower, upper, count]"):
+            continue
+        lo, hi, n = b
+        ck.expect(is_uint(lo) and is_uint(hi) and is_uint(n), loc,
+                  "bucket fields must be non-negative integers")
+        # upper == 0 marks the unbounded top bucket.
+        ck.expect(hi == 0 or hi > lo, loc, f"empty bucket range [{lo}, {hi})")
+        ck.expect(n > 0, loc, "sparse export must omit empty buckets")
+        if is_uint(n):
+            total += n
+    ck.expect(total == h.get("count"), where,
+              f"bucket counts sum to {total}, count says {h.get('count')}")
+
+
+def check_summary(path: Path, ck: Checker) -> None:
+    doc = load_json(path, ck)
+    if doc is None:
+        return
+    where = str(path)
+    if not ck.expect(isinstance(doc, dict), where, "top level must be an object"):
+        return
+    ck.expect(doc.get("schema_version") == SCHEMA_VERSION, where,
+              f"schema_version must be {SCHEMA_VERSION}, got {doc.get('schema_version')!r}")
+    for section in ("counters", "gauges", "histograms", "profile"):
+        ck.expect(isinstance(doc.get(section), dict), where,
+                  f'"{section}" must be an object')
+    for name, v in (doc.get("counters") or {}).items():
+        ck.expect(is_uint(v), f"{where} counters[{name!r}]",
+                  "counter must be a non-negative integer")
+    for name, v in (doc.get("gauges") or {}).items():
+        ck.expect(v is None or is_number(v), f"{where} gauges[{name!r}]",
+                  "gauge must be a number or null")
+    for name, h in (doc.get("histograms") or {}).items():
+        check_histogram(h, f"{where} histograms[{name!r}]", ck)
+    for name, site in (doc.get("profile") or {}).items():
+        loc = f"{where} profile[{name!r}]"
+        if ck.expect(isinstance(site, dict), loc, "site must be an object"):
+            for key in ("hits", "sim_ns", "wall_ns"):
+                ck.expect(is_uint(site.get(key)), loc,
+                          f"{key} must be a non-negative integer")
+
+
+def check_run_dir(run_dir: Path, ck: Checker) -> int:
+    check_manifest(run_dir / "manifest.json", ck)
+    samples = check_metrics_jsonl(run_dir / "metrics.jsonl", ck)
+    check_summary(run_dir / "summary.json", ck)
+    return samples
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ck = Checker()
+    for arg in argv[1:]:
+        run_dir = Path(arg)
+        if not run_dir.is_dir():
+            ck.error(arg, "not a directory")
+            continue
+        samples = check_run_dir(run_dir, ck)
+        print(f"telemetry_schema.py: {run_dir}: {samples} samples", file=sys.stderr)
+    for e in ck.errors:
+        print(e)
+    print(f"telemetry_schema.py: {len(ck.errors)} violation(s)", file=sys.stderr)
+    return 1 if ck.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

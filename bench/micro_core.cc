@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/net/packet_pool.h"
 #include "src/sim/random.h"
@@ -271,6 +272,50 @@ void BM_IncastTestbedTelemetryOn(benchmark::State& state) {
   state.SetLabel("same incast with a 100us recorder on every metric");
 }
 BENCHMARK(BM_IncastTestbedTelemetryOn)->Unit(benchmark::kMillisecond);
+
+// Fault-layer twin of BM_IncastTestbedEventsPerSec: the same workload with
+// a FaultInjector attached to every port but configured to inject nothing,
+// so every wire packet pays the full OnWire hook (state lookup, profile
+// checks) and drops out the other side untouched. The items_per_second gap
+// against the plain bench is the all-in cost of having the fault layer
+// armed; bench.sh asserts it stays within noise. (BM_IncastTestbedEventsPerSec
+// itself measures the unattached path — one null check per packet — and is
+// guarded against the pre-fault-layer BENCH_core.json numbers.)
+void BM_IncastTestbedFaultIdle(benchmark::State& state) {
+  uint64_t events = 0;
+  uint64_t inspected = 0;
+  for (auto _ : state) {
+    ProtocolSuite suite;
+    suite.protocol = Protocol::kTfc;
+    Network net(3);
+    LinkOptions opts;
+    opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+    TestbedTopology topo = BuildTestbed(net, opts);
+    suite.InstallSwitchLogic(net);
+    FaultInjector inject(&net, 17);
+    FaultProfile idle;  // all probabilities zero: pure hook overhead
+    for (const auto& node : net.nodes()) {
+      for (const auto& port : node->ports()) {
+        inject.Attach(port.get(), idle);
+      }
+    }
+    std::vector<Host*> senders(topo.hosts.begin() + 1, topo.hosts.end());
+    IncastConfig cfg;
+    cfg.block_bytes = 64 * 1024;
+    cfg.rounds = 20;
+    IncastApp app(&net, suite, topo.hosts[0], senders, cfg);
+    app.Start();
+    net.scheduler().RunUntil(Seconds(2));
+    events += net.scheduler().executed();
+    inspected += inject.inspected();
+    benchmark::DoNotOptimize(inject.drops());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["wire_packets"] =
+      static_cast<double>(inspected) / static_cast<double>(state.iterations());
+  state.SetLabel("same incast with an idle fault injector on every port");
+}
+BENCHMARK(BM_IncastTestbedFaultIdle)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tfc

@@ -66,4 +66,21 @@ on = ips("BM_IncastTestbedTelemetryOn")
 if off and on:
     print(f"\n  telemetry recorder overhead: {off / on:.2f}x slower with a"
           f" 100us full-registry recorder ({off:.3e} -> {on:.3e} events/s)")
+
+# Guard: an attached-but-idle fault injector must stay close to the plain
+# data path (docs/robustness.md). Measured cost is ~1.1x (one hash lookup +
+# profile checks per wire packet); the 1.25x gate leaves room for run-to-run
+# jitter while still catching a real hook regression. The *unattached* cost
+# (one null check per packet) is guarded by BM_IncastTestbedEventsPerSec
+# against the committed BENCH_core.json.
+fault = ips("BM_IncastTestbedFaultIdle")
+if off and fault:
+    ratio = off / fault
+    print(f"  idle fault-injector overhead: {ratio:.2f}x"
+          f" ({off:.3e} -> {fault:.3e} events/s)")
+    if ratio > 1.25:
+        import sys
+        print("error: idle fault layer is >25% slower than the plain path",
+              file=sys.stderr)
+        sys.exit(1)
 EOF

@@ -2,7 +2,7 @@
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
 #   ./ci.sh            full matrix: release, asan-ubsan, hardened, lint, tidy,
-#                      telemetry
+#                      telemetry, chaos
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -51,6 +51,26 @@ print(f"telemetry smoke: {len(names)} series OK")
 EOF
 }
 
+# Chaos smoke under ASan: a handful of seeded fault schedules on the Fig. 4
+# testbed via tfcsim --fault-spec, plus the chaos_test harness gtest filter
+# that replays one full schedule bit-identically (docs/robustness.md). The
+# full 20-seed sweep runs in the asan-ubsan/hardened ctest legs; this leg is
+# the fast end-to-end check that the CLI path and injector survive sanitizers.
+leg_chaos() {
+  echo "=== [chaos] seeded fault-injection smoke (ASan) ==="
+  cmake --preset asan-ubsan
+  cmake --build build-asan -j "$(nproc)" --target tfcsim chaos_test
+  for seed in 11 12 13; do
+    echo "--- chaos seed ${seed} ---"
+    ./build-asan/examples/tfcsim --workload=incast --protocol=tfc \
+        --topology=testbed --senders=6 --block_kb=64 --rounds=3 \
+        --seed="${seed}" \
+        --fault-spec="drop=0.005,ge=0.01/0.3/0.5,flap=5ms/300us,wipe=10ms,start=1ms,seed=${seed}"
+  done
+  ./build-asan/tests/chaos_test \
+      --gtest_filter='ChaosTest.DifferentSeedsProduceDifferentSchedules'
+}
+
 case "${1:-all}" in
   release)    leg_release ;;
   asan-ubsan) leg_asan_ubsan ;;
@@ -58,6 +78,7 @@ case "${1:-all}" in
   lint)       leg_lint ;;
   tidy)       leg_tidy ;;
   telemetry)  leg_telemetry ;;
+  chaos)      leg_chaos ;;
   all)
     leg_release
     leg_asan_ubsan
@@ -65,10 +86,11 @@ case "${1:-all}" in
     leg_lint
     leg_tidy
     leg_telemetry
+    leg_chaos
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|lint|tidy|telemetry|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|lint|tidy|telemetry|chaos|all]" >&2
     exit 2
     ;;
 esac

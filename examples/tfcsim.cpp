@@ -18,6 +18,8 @@
 //   --gbps=N (link rate)  --seed=N  --trace=FILE  --quick
 //   --telemetry-dir=DIR       write manifest.json/metrics.jsonl/summary.json
 //   --telemetry-interval=US   recorder sampling period in microseconds
+//   --fault-spec=SPEC         inject faults (see src/net/fault.h), e.g.
+//                             drop=0.01,flap=5ms/500us,wipe=10ms,seed=7
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/fault.h"
 #include "src/net/trace.h"
 #include "src/sim/telemetry.h"
 #include "src/topo/topologies.h"
@@ -52,6 +55,7 @@ struct Options {
   uint64_t seed = 1;
   std::string trace_file;
   std::string telemetry_dir;
+  std::string fault_spec;
   uint64_t telemetry_interval_us = 1000;
 };
 
@@ -71,7 +75,12 @@ void PrintHelp() {
       "  --trace=FILE     write a packet trace (ns-2 style text)\n"
       "  --telemetry-dir=DIR       write a telemetry run directory\n"
       "                            (manifest.json, metrics.jsonl, summary.json)\n"
-      "  --telemetry-interval=US   recorder sampling period (default 1000 us)");
+      "  --telemetry-interval=US   recorder sampling period (default 1000 us)\n"
+      "  --fault-spec=SPEC         deterministic fault schedule, e.g.\n"
+      "                            drop=0.01,ge=0.02/0.3/0.5,flap=5ms/500us,\n"
+      "                            wipe=10ms,host_down=4ms+1ms,seed=7\n"
+      "                            (keys: drop dup reorder reorder_delay ge\n"
+      "                             flap wipe host_down start stop seed)");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -140,6 +149,20 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
   link_opts.ecn_threshold_bytes = suite.EcnThresholdBytes(opt.gbps * kGbps);
   BuiltTopology topo = Build(net, opt, link_opts);
   suite.InstallSwitchLogic(net);
+
+  // The injector owns daemon timers into the scheduler, so it must die
+  // before the Network: declare it after `net`.
+  std::unique_ptr<FaultInjector> inject;
+  if (!opt.fault_spec.empty()) {
+    FaultSpec spec;
+    std::string error;
+    if (!FaultSpec::Parse(opt.fault_spec, &spec, &error)) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
+      return 1;
+    }
+    inject = std::make_unique<FaultInjector>(&net, spec.seed);
+    inject->ApplySpec(spec);
+  }
 
   std::ofstream trace_out;
   std::unique_ptr<TextTracer> tracer;
@@ -265,6 +288,20 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     return 1;
   }
 
+  if (inject != nullptr) {
+    std::printf("faults: drops=%llu (rand=%llu burst=%llu link=%llu) dups=%llu "
+                "reorders=%llu wipes=%llu link_transitions=%llu downtime=%.3fms\n",
+                static_cast<unsigned long long>(inject->drops()),
+                static_cast<unsigned long long>(inject->random_drops()),
+                static_cast<unsigned long long>(inject->burst_drops()),
+                static_cast<unsigned long long>(inject->link_drops()),
+                static_cast<unsigned long long>(inject->dups()),
+                static_cast<unsigned long long>(inject->reorders()),
+                static_cast<unsigned long long>(inject->agent_wipes()),
+                static_cast<unsigned long long>(inject->link_transitions()),
+                static_cast<double>(inject->link_down_ns()) / 1e6);
+  }
+
   if (tracer != nullptr) {
     std::printf("trace: %llu events -> %s\n",
                 static_cast<unsigned long long>(tracer->events_written()),
@@ -286,6 +323,9 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     manifest.SetDouble("duration_s", opt.duration_s);
     manifest.SetInt("gbps", static_cast<int64_t>(opt.gbps));
     manifest.SetInt("seed", static_cast<int64_t>(opt.seed));
+    if (!opt.fault_spec.empty()) {
+      manifest.Set("fault_spec", opt.fault_spec);
+    }
     manifest.SetInt("telemetry_interval_us",
                     static_cast<int64_t>(opt.telemetry_interval_us));
     manifest.SetDouble("sim_end_s", ToSeconds(net.scheduler().now()));
@@ -316,7 +356,8 @@ int main(int argc, char** argv) {
                ParseFlag(arg, "protocol", &opt.protocol) ||
                ParseFlag(arg, "topology", &opt.topology) ||
                ParseFlag(arg, "trace", &opt.trace_file) ||
-               ParseFlag(arg, "telemetry-dir", &opt.telemetry_dir)) {
+               ParseFlag(arg, "telemetry-dir", &opt.telemetry_dir) ||
+               ParseFlag(arg, "fault-spec", &opt.fault_spec)) {
       continue;
     } else if (ParseFlag(arg, "telemetry-interval", &value)) {
       opt.telemetry_interval_us = static_cast<uint64_t>(std::atoll(value.c_str()));

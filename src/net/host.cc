@@ -8,16 +8,31 @@
 namespace tfc {
 
 Host::Host(Network* network, int id, std::string name)
-    : Node(network, id, std::move(name)) {}
+    : Node(network, id, std::move(name)) {
+  metrics_.Reset(&network->metrics());
+  const std::string prefix = "host." + name_;
+  metrics_.AddCallbackGauge(prefix + ".unroutable",
+                            [this] { return static_cast<double>(unroutable_); });
+  metrics_.AddCallbackGauge(prefix + ".down_drops",
+                            [this] { return static_cast<double>(down_drops_); });
+}
 
 void Host::Receive(PacketPtr pkt, Port* ingress) {
   (void)ingress;
+  if (down_) {
+    // Crashed host: the NIC is dead, the packet is lost on arrival.
+    ++down_drops_;
+    network_->EmitTrace(TraceEventType::kFaultDrop, *pkt, this, nullptr);  // lint:allow packet-drop
+    return;
+  }
   network_->EmitTrace(TraceEventType::kDeliver, *pkt, this, nullptr);
   auto it = endpoints_.find(pkt->flow_id);
   if (it == endpoints_.end()) {
     // Packet for a finished/unknown flow (e.g. a retransmitted FIN's ACK
-    // arriving after teardown): drop silently but account it.
+    // arriving after teardown): account and trace the drop so post-teardown
+    // traffic is observable, then destroy it.
     ++unroutable_;
+    network_->EmitTrace(TraceEventType::kDrop, *pkt, this, nullptr);  // lint:allow packet-drop
     return;
   }
   it->second->OnReceive(std::move(pkt));
@@ -25,6 +40,11 @@ void Host::Receive(PacketPtr pkt, Port* ingress) {
 
 void Host::Send(PacketPtr pkt) {
   TFC_CHECK(!ports_.empty());
+  if (down_) {
+    ++down_drops_;
+    network_->EmitTrace(TraceEventType::kFaultDrop, *pkt, this, nullptr);  // lint:allow packet-drop
+    return;
+  }
   Scheduler& sched = network_->scheduler();
   TimeNs delay = proc_base_;
   if (proc_jitter_ > 0) {

@@ -14,6 +14,7 @@
 
 #include "src/net/node.h"
 #include "src/sim/random.h"
+#include "src/sim/telemetry.h"
 
 namespace tfc {
 
@@ -47,7 +48,19 @@ class Host : public Node {
 
   Port* nic() const { return ports_.at(0).get(); }
 
+  // Crash/restart (fault injection): while down the host drops everything it
+  // would send or receive. Endpoint state survives — the model is a machine
+  // that is unreachable, not one with wiped memory; transports recover via
+  // their own retransmission machinery once the host is back.
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  // Packets for a finished/unknown flow, dropped at dispatch. Also exported
+  // as the `host.<name>.unroutable` metric and a kDrop trace event.
   uint64_t unroutable_packets() const { return unroutable_; }
+  // Packets destroyed because the host was down (fault.* analog at the
+  // host; exported as `host.<name>.down_drops`).
+  uint64_t down_drops() const { return down_drops_; }
 
  private:
   std::unordered_map<int, Endpoint*> endpoints_;
@@ -55,6 +68,10 @@ class Host : public Node {
   TimeNs proc_jitter_ = 0;
   TimeNs last_departure_ = 0;
   uint64_t unroutable_ = 0;
+  uint64_t down_drops_ = 0;
+  bool down_ = false;
+  // Keep last: gauges capture `this`.
+  ScopedMetrics metrics_;
 };
 
 }  // namespace tfc

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/net/node.h"
 #include "src/sim/check.h"
@@ -124,15 +125,26 @@ void Port::OnSerialized() {
   busy_ = false;
   owner_->network()->EmitTrace(TraceEventType::kTransmit, *pkt, owner_, this);
 
-  // Deliver to the peer after propagation; the packet rides inside the
-  // event. The Network owns nodes for the whole simulation lifetime.
-  Node* peer = peer_node_;
-  Port* ingress = peer_port_;
-  scheduler_->ScheduleAfter(prop_delay_, [peer, ingress, pkt = std::move(pkt)]() mutable {
-    peer->Receive(std::move(pkt), ingress);
-  });
+  // The wire: with an injector attached the packet may be lost, duplicated,
+  // or delayed here instead of (or in addition to) the normal delivery.
+  if (fault_ != nullptr) {
+    fault_->OnWire(this, std::move(pkt));
+  } else {
+    DeliverToPeer(std::move(pkt), 0);
+  }
 
   TryTransmit();
+}
+
+void Port::DeliverToPeer(PacketPtr pkt, TimeNs extra_delay) {
+  // The packet rides inside the event. The Network owns nodes for the whole
+  // simulation lifetime.
+  Node* peer = peer_node_;
+  Port* ingress = peer_port_;
+  scheduler_->ScheduleAfter(prop_delay_ + extra_delay,
+                            [peer, ingress, pkt = std::move(pkt)]() mutable {
+                              peer->Receive(std::move(pkt), ingress);
+                            });
 }
 
 }  // namespace tfc

@@ -25,6 +25,7 @@
 
 namespace tfc {
 
+class FaultInjector;
 class Node;
 class Port;
 
@@ -45,6 +46,14 @@ class PortAgent {
   // later via Switch::Forward (TFC's ACK delay function). Returning true
   // lets normal forwarding continue.
   virtual bool OnReverse(PacketPtr& pkt) = 0;
+
+  // Fault hook: the device holding this agent's state rebooted (the paper's
+  // testbed analog is a NetFPGA power-cycle). The agent must return to its
+  // construction-time state and re-converge from live traffic. Any packets
+  // the agent was holding (parked ACKs) are switch memory and are lost with
+  // it: the agent appends them to `lost` and the caller (FaultInjector)
+  // accounts their destruction. Default: stateless agent, nothing to do.
+  virtual void WipeState(std::deque<PacketPtr>* lost) { (void)lost; }
 };
 
 class Port {
@@ -70,6 +79,18 @@ class Port {
   }
   void set_ecn_threshold(uint64_t bytes) { ecn_threshold_bytes_ = bytes; }
   void set_agent(std::unique_ptr<PortAgent> agent) { agent_ = std::move(agent); }
+
+  // Fault injection (src/net/fault.h): when set, every packet that finishes
+  // serializing is routed through the injector, which may drop, duplicate,
+  // or delay it instead of delivering it. Not owned; the injector detaches
+  // itself on destruction. Null (the default) costs one branch per packet.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
+
+  // Schedules delivery of `pkt` to the peer node after this link's
+  // propagation delay plus `extra_delay` (the fault injector's reordering
+  // lever). Exposed for the injector; everything else goes through Enqueue.
+  void DeliverToPeer(PacketPtr pkt, TimeNs extra_delay);
 
   // --- accessors ---
   Node* owner() const { return owner_; }
@@ -136,6 +157,7 @@ class Port {
   bool busy_ = false;
 
   std::unique_ptr<PortAgent> agent_;
+  FaultInjector* fault_ = nullptr;
 
   uint64_t tx_packets_ = 0;
   uint64_t tx_bytes_ = 0;

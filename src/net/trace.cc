@@ -19,6 +19,8 @@ char EventChar(TraceEventType t) {
       return 'd';
     case TraceEventType::kDeliver:
       return 'r';
+    case TraceEventType::kFaultDrop:
+      return 'x';
   }
   return '?';
 }
@@ -74,6 +76,9 @@ void CountingTracer::OnEvent(const TraceEvent& event) {
       break;
     case TraceEventType::kDeliver:
       ++delivers;
+      break;
+    case TraceEventType::kFaultDrop:
+      ++fault_drops;
       break;
   }
 }

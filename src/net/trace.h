@@ -25,10 +25,12 @@ class Node;
 class Port;
 
 enum class TraceEventType : uint8_t {
-  kEnqueue,   // packet entered a port's transmit queue
-  kTransmit,  // packet finished serializing onto the link
-  kDrop,      // packet tail-dropped at a full buffer
-  kDeliver,   // packet handed to a host endpoint
+  kEnqueue,    // packet entered a port's transmit queue
+  kTransmit,   // packet finished serializing onto the link
+  kDrop,       // packet tail-dropped at a full buffer
+  kDeliver,    // packet handed to a host endpoint
+  kFaultDrop,  // packet destroyed by an injected fault (loss, link down,
+               // crashed host, wiped switch state) — never a queue drop
 };
 
 struct TraceEvent {
@@ -79,6 +81,7 @@ class CountingTracer : public Tracer {
   uint64_t transmits = 0;
   uint64_t drops = 0;
   uint64_t delivers = 0;
+  uint64_t fault_drops = 0;
 };
 
 }  // namespace tfc

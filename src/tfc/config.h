@@ -70,6 +70,13 @@ struct TfcSwitchConfig {
   double counter_cap_quanta = 2.0;
   // Fail-open bound on the number of parked ACKs.
   size_t delay_queue_limit = 1 << 16;
+  // Parked RMA ACKs older than this are expired (destroyed) instead of
+  // released: the flow they grant to has typically FIN'd or died, and an
+  // undeliverable grant parked forever would strand arbiter slots (the
+  // sender's own retransmission machinery recovers the flow if it is still
+  // alive). 0 disables expiry. Expiry is also run when the data path sees
+  // the flow's FIN, which is the common, immediate case.
+  TimeNs delay_park_timeout = Milliseconds(10);
 };
 
 // Host-side parameters.
@@ -86,6 +93,18 @@ struct TfcHostConfig {
   // strictly paper-described behaviour.
   bool resume_probe = true;
   TimeNs resume_idle_threshold = Microseconds(300);
+
+  // Window-acquisition probe retry (robustness to probe/RMA loss). The
+  // paper assumes the probe's RMA always returns; with real loss a lost
+  // probe or RMA would otherwise wedge the sender in awaiting_probe_rma_
+  // until the 200 ms RTO. Instead the sender retries the probe with capped
+  // exponential backoff: delay = min(base * 2^attempt, cap), each delay
+  // stretched by Uniform[0, jitter) to de-synchronize retry storms.
+  // base = 0 disables the dedicated retry timer (RTO-only, the old
+  // behaviour).
+  TimeNs probe_retry_base = Milliseconds(2);
+  TimeNs probe_retry_cap = Milliseconds(100);
+  double probe_retry_jitter = 0.25;
 
   // Weighted-allocation extension (paper Sec. 4.1): this flow counts as
   // `weight` consumers at every switch and scales the granted per-unit

@@ -33,12 +33,16 @@ void TfcReceiver::DecorateAck(const Packet& data, Packet& ack) {
 // ---------------------------------------------------------------------------
 
 TfcSender::TfcSender(Network* network, Host* local, Host* remote, const TfcHostConfig& config)
-    : ReliableSender(network, local, remote, config.transport), config_(config) {
+    : ReliableSender(network, local, remote, config.transport),
+      config_(config),
+      probe_timer_(&network->scheduler(), [this] { OnProbeRetryTimer(); }) {
   InitializeReceiver();
   metrics_.AddCallbackGauge(metric_prefix() + ".cwnd_frame_bytes",
                             [this] { return cwnd_frames_; });
   metrics_.AddCallbackGauge(metric_prefix() + ".probes_sent",
                             [this] { return static_cast<double>(probes_sent_); });
+  metrics_.AddCallbackGauge(metric_prefix() + ".probe_retries",
+                            [this] { return static_cast<double>(probe_retries_); });
 }
 
 std::unique_ptr<ReliableReceiver> TfcSender::MakeReceiver() {
@@ -74,6 +78,37 @@ void TfcSender::SendProbe() {
   ++probes_sent_;
   SendPacket(std::move(pkt));
   RestartRtoTimer();
+  ArmProbeRetry();
+}
+
+void TfcSender::ArmProbeRetry() {
+  // A lost probe (or its RMA) must not wedge the acquisition phase until the
+  // RTO safety net: retry on a capped exponential backoff, jittered so that
+  // senders whose probes died together do not retry in lockstep.
+  if (config_.probe_retry_base <= 0) {
+    return;  // disabled: RTO-only recovery
+  }
+  TimeNs delay = config_.probe_retry_base;
+  for (int i = 0; i < probe_attempts_ && delay < config_.probe_retry_cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, config_.probe_retry_cap);
+  if (config_.probe_retry_jitter > 0) {
+    delay += static_cast<TimeNs>(static_cast<double>(delay) * config_.probe_retry_jitter *
+                                 network()->rng().Uniform());
+  }
+  probe_timer_.RestartAfter(delay);
+}
+
+void TfcSender::OnProbeRetryTimer() {
+  if (state() != State::kEstablished || !awaiting_probe_rma_) {
+    // The RMA arrived or the flow moved on (e.g. FIN'd); stop retrying.
+    probe_attempts_ = 0;
+    return;
+  }
+  ++probe_attempts_;
+  ++probe_retries_;
+  SendProbe();  // re-arms the timer with the doubled delay
 }
 
 void TfcSender::OnEstablished() {
@@ -110,6 +145,8 @@ void TfcSender::OnAckHeader(const Packet& ack) {
       std::max(static_cast<double>(ack.window) * config_.weight, full_frame);
   have_window_ = true;
   awaiting_probe_rma_ = false;
+  probe_attempts_ = 0;
+  probe_timer_.Cancel();
   // Per Sec. 5.1: after receiving an RMA, mark the next outgoing data packet.
   pending_rm_ = true;
   SendAvailable();

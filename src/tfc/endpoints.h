@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "src/sim/timer.h"
 #include "src/tfc/config.h"
 #include "src/transport/reliable_sender.h"
 
@@ -35,6 +36,9 @@ class TfcSender : public ReliableSender {
   double cwnd_frame_bytes() const { return cwnd_frames_; }
   bool window_acquired() const { return have_window_; }
   uint64_t probes_sent() const { return probes_sent_; }
+  // Probes re-sent by the capped-exponential-backoff retry timer (a lost
+  // probe or RMA no longer waits for the 200 ms RTO safety net).
+  uint64_t probe_retries() const { return probe_retries_; }
 
  protected:
   bool MarkSyn() const override { return true; }
@@ -49,6 +53,8 @@ class TfcSender : public ReliableSender {
 
  private:
   void SendProbe();
+  void ArmProbeRetry();
+  void OnProbeRetryTimer();
   uint64_t FrameBytesInFlight(uint64_t inflight_payload) const;
 
   TfcHostConfig config_;
@@ -57,7 +63,10 @@ class TfcSender : public ReliableSender {
   bool awaiting_probe_rma_ = false;
   bool pending_rm_ = false;
   uint64_t probes_sent_ = 0;
+  uint64_t probe_retries_ = 0;
+  int probe_attempts_ = 0;  // consecutive unanswered probes (backoff exponent)
   TimeNs last_activity_ = 0;
+  Timer probe_timer_;
 };
 
 }  // namespace tfc

@@ -56,6 +56,12 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
                             [this] { return static_cast<double>(delayed_acks_); });
   metrics_.AddCallbackGauge(prefix + ".slots_completed",
                             [this] { return static_cast<double>(slots_completed_); });
+  metrics_.AddCallbackGauge(prefix + ".delimiter_failovers",
+                            [this] { return static_cast<double>(delimiter_failovers_); });
+  metrics_.AddCallbackGauge(prefix + ".arbiter_expired",
+                            [this] { return static_cast<double>(arbiter_expired_); });
+  metrics_.AddCallbackGauge(prefix + ".state_wipes",
+                            [this] { return static_cast<double>(state_wipes_); });
 }
 
 double TfcPortAgent::bdp_bytes() const {
@@ -87,11 +93,17 @@ void TfcPortAgent::OnEgress(Packet& pkt) {
     }
   }
 
-  // A FIN of the delimiter flow means its round marks will never return:
-  // elect the next RM packet as the new delimiter (Sec. 5.2).
-  if (pkt.type == PacketType::kFin && pkt.flow_id == delimiter_flow_) {
-    delimiter_closed_ = true;
-    want_new_delimiter_ = true;
+  if (pkt.type == PacketType::kFin) {
+    // The flow is closing: any of its RMA ACKs still parked in the delay
+    // arbiter grant a window nobody will use — destroy them now instead of
+    // letting them strand queue slots until age-out.
+    PurgeParkedAcks(pkt.flow_id);
+    // A FIN of the delimiter flow means its round marks will never return:
+    // elect the next RM packet as the new delimiter (Sec. 5.2).
+    if (pkt.flow_id == delimiter_flow_) {
+      delimiter_closed_ = true;
+      want_new_delimiter_ = true;
+    }
   }
 
   if (pkt.rm) {
@@ -204,16 +216,20 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
   rho = std::max(rho, config_.rho_floor);
 
   // Token adjustment (Eq. 7) with engineering clamps, then EWMA (Eq. 8).
+  // The upper clamp is floored at one quantum: after a delimiter handover
+  // re-seeds rtt_b from an anomalously short slot, token_boost_cap * bdp can
+  // drop below one frame, which would invert the clamp bounds (UB) and
+  // allocate less than the arbiter's release unit.
   const double bdp = bdp_bytes();
+  const double quantum_bytes = static_cast<double>(config_.delay_quantum);
+  const double bound_hi = std::max(config_.token_boost_cap * bdp, quantum_bytes);
   double target = config_.enable_token_adjustment ? bdp * config_.rho0 / rho : bdp;
-  target = std::clamp(target, static_cast<double>(config_.delay_quantum),
-                      config_.token_boost_cap * bdp);
+  target = std::clamp(target, quantum_bytes, bound_hi);
   token_bytes_ =
       config_.history_weight * token_bytes_ + (1.0 - config_.history_weight) * target;
-  token_bytes_ = std::clamp(token_bytes_, static_cast<double>(config_.delay_quantum),
-                            config_.token_boost_cap * bdp);
+  token_bytes_ = std::clamp(token_bytes_, quantum_bytes, bound_hi);
   last_rho_ = rho;
-  token_bound_hi_ = config_.token_boost_cap * bdp;
+  token_bound_hi_ = bound_hi;
 
   // W[n+1] = T[n] / E[n]  (Eq. 5).
   const int effective = config_.flow_count_mode == FlowCountMode::kSynFin
@@ -259,6 +275,7 @@ void TfcPortAgent::OnFailoverTimer() {
   // The delimiter flow went silent: catch another RM packet as the new
   // delimiter. Back off exponentially while the port stays idle.
   want_new_delimiter_ = true;
+  ++delimiter_failovers_;
   ++miss_k_;
   if (miss_k_ <= config_.max_miss_exponent) {
     ArmFailover();
@@ -328,7 +345,7 @@ bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
     pkt->window = config_.delay_quantum;  // fail open rather than drop
     return true;
   }
-  delay_queue_.push_back(std::move(pkt));
+  delay_queue_.push_back(ParkedAck{std::move(pkt), scheduler_->now()});
   ++delayed_acks_;
   ScheduleRelease();
   return false;
@@ -343,15 +360,59 @@ void TfcPortAgent::ScheduleRelease() {
   if (deficit > 0) {
     wait = static_cast<TimeNs>(std::ceil(deficit / (config_.rho0 * bytes_per_ns_)));
   }
+  // Never sleep past the park timeout: the release pass is also the expiry
+  // pass, so a deeply indebted counter (full-window debt floor) must not
+  // delay aging out undeliverable grants.
+  if (config_.delay_park_timeout > 0 && wait > config_.delay_park_timeout) {
+    wait = config_.delay_park_timeout;
+  }
   release_timer_.RestartAfter(wait);
+}
+
+void TfcPortAgent::DropParkedAck(PacketPtr pkt) {
+  // Parked grants are destroyed without touching the ledger: the debit for
+  // a parked ACK only happens at release, so an expired ACK costs nothing.
+  ++arbiter_expired_;
+  switch_->network()->EmitTrace(  // lint:allow packet-drop (arbiter_expired_)
+      TraceEventType::kDrop, *pkt, switch_, port_);
+  pkt.reset();
+}
+
+void TfcPortAgent::ExpireAgedParkedAcks(TimeNs now) {
+  if (config_.delay_park_timeout <= 0) {
+    return;
+  }
+  // Parking order is arrival order, so aged-out entries sit at the front.
+  while (!delay_queue_.empty() &&
+         now - delay_queue_.front().parked_at >= config_.delay_park_timeout) {
+    PacketPtr pkt = std::move(delay_queue_.front().pkt);
+    delay_queue_.pop_front();
+    DropParkedAck(std::move(pkt));
+  }
+}
+
+void TfcPortAgent::PurgeParkedAcks(int flow_id) {
+  if (delay_queue_.empty()) {
+    return;
+  }
+  for (auto it = delay_queue_.begin(); it != delay_queue_.end();) {
+    if (it->pkt->flow_id == flow_id) {
+      PacketPtr pkt = std::move(it->pkt);
+      it = delay_queue_.erase(it);
+      DropParkedAck(std::move(pkt));
+    } else {
+      ++it;
+    }
+  }
 }
 
 void TfcPortAgent::ReleaseParkedAcks() {
   ProfileScope prof(&switch_->network()->profiler(), release_site_);
   RefillCounter();
+  ExpireAgedParkedAcks(scheduler_->now());
   const double quantum = config_.delay_quantum;
   while (!delay_queue_.empty() && counter_bytes_ >= quantum) {
-    PacketPtr pkt = std::move(delay_queue_.front());
+    PacketPtr pkt = std::move(delay_queue_.front().pkt);
     delay_queue_.pop_front();
     pkt->window = config_.delay_quantum;
     counter_bytes_ -= quantum;
@@ -360,6 +421,67 @@ void TfcPortAgent::ReleaseParkedAcks() {
     switch_->Forward(std::move(pkt));
   }
   ScheduleRelease();
+}
+
+// ---------------------------------------------------------------------------
+// Fault path: device reboot (src/net/fault.h).
+// ---------------------------------------------------------------------------
+
+void TfcPortAgent::WipeState(std::deque<PacketPtr>* lost) {
+  // Parked ACKs are switch memory; they die with the device. The caller
+  // (FaultInjector) traces and accounts their destruction.
+  for (ParkedAck& parked : delay_queue_) {
+    lost->push_back(std::move(parked.pkt));
+  }
+  delay_queue_.clear();
+  failover_timer_.Cancel();
+  release_timer_.Cancel();
+
+  // Slot / delimiter machinery back to construction state: the next RM
+  // packet is adopted as delimiter and rtt_b re-converges from scratch.
+  delimiter_flow_ = -1;
+  delimiter_closed_ = false;
+  want_new_delimiter_ = true;
+  slot_start_ = scheduler_->now();
+  rttb_ = config_.initial_rttb;
+  rttb_epoch_min_ = config_.initial_rttb;
+  rttb_prev_epoch_min_ = config_.initial_rttb;
+  rttb_epoch_count_ = 0;
+  rttb_measured_ = false;
+  rttm_last_ = 0;
+  E_ = 1;
+  synfin_count_ = 0;
+  arrived_wire_bytes_ = 0;
+  slot_start_queue_bytes_ = 0;
+  miss_k_ = 0;
+
+  // Allocation state. token_bytes_ derives from the freshly reset rtt_b.
+  token_bytes_ = bdp_bytes();
+  window_bytes_ = 0.0;
+  have_window_ = false;
+  last_E_ = 0;
+
+  // Arbiter counter and its conservation ledger restart from zero history.
+  // counter_refill_time_ must move to now, or the first post-reboot refill
+  // would credit the entire pre-reboot interval.
+  counter_bytes_ = config_.counter_cap_quanta * config_.delay_quantum;
+  counter_initial_ = counter_bytes_;
+  counter_refill_time_ = scheduler_->now();
+  refilled_total_ = 0.0;
+  overflow_total_ = 0.0;
+  debited_total_ = 0.0;
+  forgiven_total_ = 0.0;
+  counter_floor_lo_ = 0.0;
+  granted_mss_bytes_ = 0.0;
+
+  last_rho_ = 0.0;
+  token_bound_hi_ = std::max(config_.token_boost_cap * bdp_bytes(),
+                             static_cast<double>(config_.delay_quantum));
+
+  // slots_completed_ / delayed_acks_ / failover counts are simulation-side
+  // observability, not device registers: they survive so tests and metrics
+  // keep their cumulative meaning across reboots.
+  ++state_wipes_;
 }
 
 // ---------------------------------------------------------------------------
@@ -395,7 +517,10 @@ void TfcPortAgent::AuditInvariants(Auditor& audit) const {
   // Token allocator (Secs. 4.4-4.5): positive token within the bound used
   // at its last clamp; window derived from it with E >= 1 consumers.
   audit.Check(token_bytes_ > 0.0, "token>0");
-  if (slots_completed_ > 0) {
+  // Gate on have_window_, not the cumulative slot count: a state wipe
+  // clears the per-boot allocation state (rho, window) but deliberately
+  // preserves slots_completed_ as a lifetime statistic.
+  if (have_window_) {
     audit.CheckLe(token_bytes_, token_bound_hi_ * (1.0 + 1e-9), "token<=boost cap");
     audit.CheckGe(token_bytes_, quantum * (1.0 - 1e-9), "token>=one quantum");
     audit.CheckGe(last_rho_, config_.rho_floor, "rho>=floor");
@@ -411,11 +536,21 @@ void TfcPortAgent::AuditInvariants(Auditor& audit) const {
 
   // Delay arbiter queue: bounded, and every parked packet is a live sub-MSS
   // RMA ack (a poisoned uid here is a use-after-free of a pooled packet).
+  // With expiry enabled no entry may outlive two park timeouts: the release
+  // timer fires within one timeout of any park and each firing expires every
+  // aged-out entry (they are contiguous at the front, FIFO order).
   audit.CheckLe(delay_queue_.size(), config_.delay_queue_limit, "parked<=limit");
-  for (const PacketPtr& p : delay_queue_) {
+  const TimeNs now = scheduler_->now();
+  for (const ParkedAck& parked : delay_queue_) {
+    const PacketPtr& p = parked.pkt;
     audit.Check(p->uid != kPoisonUid, "parked packet is live (not freed)");
     audit.Check(p->is_ack() && p->rma, "parked packet is an RMA ack");
     audit.Check(static_cast<double>(p->window) < quantum, "parked window<quantum");
+    audit.CheckLe(parked.parked_at, now, "parked in the past");
+    if (config_.delay_park_timeout > 0) {
+      audit.CheckLe(now - parked.parked_at, 2 * config_.delay_park_timeout,
+                    "parked age<=2x park timeout");
+    }
   }
   // A non-empty park queue must have a release scheduled, or it would
   // starve (ScheduleRelease runs after every park and every drain).

@@ -38,6 +38,12 @@ class TfcPortAgent : public PortAgent {
   // PortAgent:
   void OnEgress(Packet& pkt) override;
   bool OnReverse(PacketPtr& pkt) override;
+  // Fault hook (src/net/fault.h): device reboot. Every protocol register —
+  // delimiter, rtt_b epochs, token/window, the arbiter counter and its
+  // ledger — reverts to construction values; parked ACKs are switch memory
+  // and are handed to the caller for destruction. The agent then
+  // re-converges from live traffic exactly like a cold start.
+  void WipeState(std::deque<PacketPtr>* lost) override;
 
   // Observation snapshot emitted at the end of every time slot.
   struct SlotInfo {
@@ -62,6 +68,9 @@ class TfcPortAgent : public PortAgent {
   uint64_t slots_completed() const { return slots_completed_; }
   uint64_t delayed_acks() const { return delayed_acks_; }
   size_t delay_queue_length() const { return delay_queue_.size(); }
+  uint64_t delimiter_failovers() const { return delimiter_failovers_; }
+  uint64_t arbiter_expired() const { return arbiter_expired_; }
+  uint64_t state_wipes() const { return state_wipes_; }
   const TfcSwitchConfig& config() const { return config_; }
 
   // Convenience downcast for a port known to run TFC (null otherwise).
@@ -84,6 +93,13 @@ class TfcPortAgent : public PortAgent {
   void RefillCounter();
   void ScheduleRelease();
   void ReleaseParkedAcks();
+  // Expires parked ACKs older than delay_park_timeout (they sit at the
+  // queue front: parking order is arrival order).
+  void ExpireAgedParkedAcks(TimeNs now);
+  // Destroys parked ACKs granting to `flow_id` (its FIN passed the data
+  // path: the grant can never be used).
+  void PurgeParkedAcks(int flow_id);
+  void DropParkedAck(PacketPtr pkt);
   double bdp_bytes() const;  // c · rtt_b in bytes
 
   Switch* switch_;
@@ -118,11 +134,20 @@ class TfcPortAgent : public PortAgent {
   uint64_t slots_completed_ = 0;
 
   // Delay arbiter state.
+  struct ParkedAck {
+    PacketPtr pkt;
+    TimeNs parked_at;
+  };
   double counter_bytes_;
   TimeNs counter_refill_time_ = 0;
-  std::deque<PacketPtr> delay_queue_;
+  std::deque<ParkedAck> delay_queue_;
   Timer release_timer_;
   uint64_t delayed_acks_ = 0;
+  uint64_t arbiter_expired_ = 0;  // parked ACKs destroyed (FIN purge + age-out)
+
+  // Resilience statistics.
+  uint64_t delimiter_failovers_ = 0;
+  uint64_t state_wipes_ = 0;
 
   // Token-conservation ledger (audited): every byte entering or leaving
   // counter_bytes_ is recorded, so the auditor can re-derive the counter

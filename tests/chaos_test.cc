@@ -1,0 +1,165 @@
+// Chaos harness: randomized fault schedules over the Fig. 4 testbed.
+//
+// Each seed derives a different fault schedule (stochastic wire impairments,
+// trunk outages, link flapping, switch-agent wipes, one host crash) and a
+// different set of cross-rack flow sizes. For every seed the harness asserts
+// the protocol-resilience contract:
+//   - every flow completes (no flow is stranded by any fault),
+//   - the liveness watchdog never flags a stuck flow,
+//   - all runtime-auditor invariants hold through every fault,
+//   - an identical seed replays bit-identically (same event count, same
+//     per-flow byte counts, same fault counters).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/fault.h"
+#include "src/net/network.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+
+namespace tfc {
+namespace {
+
+constexpr int kSeeds = 20;
+
+struct ChaosResult {
+  uint64_t executed = 0;
+  uint64_t fault_drops = 0;
+  uint64_t dups = 0;
+  uint64_t reorders = 0;
+  uint64_t agent_wipes = 0;
+  uint64_t link_transitions = 0;
+  TimeNs link_down_ns = 0;
+  std::vector<uint64_t> delivered;  // per flow
+  bool all_closed = true;
+  std::vector<std::string> stuck;  // watchdog-flagged flows
+  bool audit_ok = true;
+
+  bool operator==(const ChaosResult&) const = default;
+};
+
+ChaosResult RunChaos(uint64_t seed) {
+  Network net(seed);
+  net.EnableAudit(Microseconds(500));
+  TestbedTopology topo = BuildTestbed(net);
+  InstallTfcSwitches(net);
+  FaultInjector inject(&net, seed * 0x9E3779B97F4A7C15ull + 1);
+  Rng& rng = inject.rng();
+
+  // Randomized schedule, all draws from the injector's own Rng so the
+  // schedule is a pure function of the seed.
+  FaultSpec spec;
+  spec.profile.drop_prob = 0.002 + 0.008 * rng.Uniform();
+  spec.profile.dup_prob = 0.002 * rng.Uniform();
+  spec.profile.reorder_prob = 0.002 * rng.Uniform();
+  spec.profile.reorder_max_delay = Microseconds(20);
+  spec.profile.ge_enter_bad = 0.005 * rng.Uniform();
+  spec.profile.ge_exit_bad = 0.3;
+  spec.profile.ge_drop_bad = 0.8;
+  spec.profile.active_from = Milliseconds(1);
+  spec.profile.active_until = Milliseconds(40);
+  spec.flap_mean_up = Microseconds(500) + static_cast<TimeNs>(rng.Uniform() * 1.5e6);
+  spec.flap_mean_down = Microseconds(100) + static_cast<TimeNs>(rng.Uniform() * 3e5);
+  spec.wipe_period = Milliseconds(5) + static_cast<TimeNs>(rng.Uniform() * 1e7);
+  spec.host_down_at = Milliseconds(3) + static_cast<TimeNs>(rng.Uniform() * 5e6);
+  spec.host_down_for = Microseconds(500) + static_cast<TimeNs>(rng.Uniform() * 1.5e6);
+  inject.ApplySpec(spec);
+
+  // Two extra hard outages on the NF0 trunks (the spec's flapping already
+  // covers one trunk; these hit rng-chosen ones with rng-chosen timing).
+  for (int i = 0; i < 2; ++i) {
+    Switch* root = topo.switches[0];
+    Port* trunk = root->ports()[static_cast<size_t>(rng.UniformInt(
+                                    0, static_cast<int64_t>(root->ports().size()) - 1))]
+                      .get();
+    const TimeNs at = Milliseconds(5) + static_cast<TimeNs>(rng.Uniform() * 2e7);
+    const TimeNs dur = Microseconds(200) + static_cast<TimeNs>(rng.Uniform() * 1.5e6);
+    inject.ScheduleLinkDown(trunk, at, dur);
+  }
+
+  // Eight cross-rack flows with seed-dependent sizes (the Fig. 4 testbed:
+  // hosts 0-2 on NF1, 3-5 on NF2, 6-8 on NF3).
+  constexpr int kPairs[8][2] = {{0, 3}, {1, 6}, {4, 1}, {5, 7},
+                                {6, 2}, {7, 4}, {2, 8}, {8, 5}};
+  std::vector<std::unique_ptr<TfcSender>> flows;
+  for (const auto& pair : kPairs) {
+    const uint64_t size = static_cast<uint64_t>(40 + rng.UniformInt(0, 70)) * kMssBytes;
+    auto f = std::make_unique<TfcSender>(&net, topo.hosts[static_cast<size_t>(pair[0])],
+                                         topo.hosts[static_cast<size_t>(pair[1])],
+                                         TfcHostConfig());
+    f->Write(size);
+    f->Close();
+    f->Start();
+    flows.push_back(std::move(f));
+  }
+
+  LivenessWatchdog watchdog(&net.scheduler(), /*check_period=*/Milliseconds(1),
+                            /*stall_after=*/Seconds(2));
+  for (size_t i = 0; i < flows.size(); ++i) {
+    TfcSender* f = flows[i].get();
+    watchdog.Watch("flow" + std::to_string(i),
+                   [f] { return static_cast<double>(f->delivered_bytes()); },
+                   [f] { return f->state() == ReliableSender::State::kClosed; });
+  }
+  watchdog.Start();
+
+  // All faults end by ~40 ms; 20 s of simulated time is enough for even an
+  // RTO-backoff recovery chain to finish many times over.
+  net.scheduler().RunUntil(Seconds(20));
+
+  ChaosResult result;
+  result.executed = net.scheduler().executed();
+  result.fault_drops = inject.drops();
+  result.dups = inject.dups();
+  result.reorders = inject.reorders();
+  result.agent_wipes = inject.agent_wipes();
+  result.link_transitions = inject.link_transitions();
+  result.link_down_ns = inject.link_down_ns();
+  for (const auto& f : flows) {
+    result.delivered.push_back(f->delivered_bytes());
+    if (f->state() != ReliableSender::State::kClosed) {
+      result.all_closed = false;
+    }
+  }
+  result.stuck = watchdog.flagged();
+  result.audit_ok = net.RunAudit().ok();
+  return result;
+}
+
+TEST(ChaosTest, EverySeedSurvivesItsFaultScheduleAndReplaysIdentically) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ChaosResult first = RunChaos(seed);
+
+    // The schedule actually did something.
+    EXPECT_GT(first.fault_drops, 0u);
+    EXPECT_GT(first.agent_wipes, 0u);
+    EXPECT_GT(first.link_transitions, 0u);
+    EXPECT_GT(first.link_down_ns, 0);
+
+    // Contract: no stranded flows, no watchdog flags, invariants hold.
+    EXPECT_TRUE(first.all_closed);
+    EXPECT_TRUE(first.stuck.empty())
+        << "stuck: " << ::testing::PrintToString(first.stuck);
+    EXPECT_TRUE(first.audit_ok);
+
+    // Bit-identical replay.
+    const ChaosResult replay = RunChaos(seed);
+    EXPECT_EQ(first, replay);
+  }
+}
+
+TEST(ChaosTest, DifferentSeedsProduceDifferentSchedules) {
+  const ChaosResult a = RunChaos(101);
+  const ChaosResult b = RunChaos(202);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace tfc

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/topo/topologies.h"
 #include "src/workload/benchmark_traffic.h"
@@ -69,6 +71,62 @@ TEST(DeterminismTest, SameSeedSameProtocolIdenticalRun) {
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   Fingerprint a = RunFingerprint(1234, Protocol::kTfc);
   Fingerprint b = RunFingerprint(4321, Protocol::kTfc);
+  EXPECT_NE(a.events, b.events);
+}
+
+// Same workload with a full fault schedule layered on top: the injected
+// randomness (drops, duplication, flapping, wipes, a host outage) must be
+// just as replayable as the fault-free run.
+Fingerprint RunFaultFingerprint(uint64_t seed) {
+  ProtocolSuite suite;
+  suite.protocol = Protocol::kTfc;
+  Network net(seed);
+  TestbedTopology topo = BuildTestbed(net);
+  suite.InstallSwitchLogic(net);
+  for (Host* h : topo.hosts) {
+    h->set_processing_delay(Microseconds(2), Microseconds(8));
+  }
+  FaultInjector inject(&net, seed + 99);
+  FaultSpec spec;
+  std::string error;
+  EXPECT_TRUE(FaultSpec::Parse(
+      "drop=0.01,dup=0.002,ge=0.01/0.3/0.6,flap=2ms/300us,wipe=15ms,"
+      "host_down=10ms+1ms,start=1ms,stop=60ms",
+      &spec, &error))
+      << error;
+  inject.ApplySpec(spec);
+
+  BenchmarkTrafficConfig cfg;
+  cfg.query_interarrival = Milliseconds(3);
+  cfg.background_interarrival = Milliseconds(3);
+  cfg.stop_time = Milliseconds(80);
+  BenchmarkTrafficApp app(&net, suite, topo.hosts, cfg);
+  app.Start();
+  net.scheduler().RunUntil(Milliseconds(150));
+
+  Fingerprint fp;
+  fp.events = net.scheduler().executed();
+  fp.drops = inject.drops() + inject.dups() + inject.link_transitions() +
+             inject.agent_wipes();
+  for (const auto& node : net.nodes()) {
+    for (const auto& port : node->ports()) {
+      fp.delivered += port->tx_bytes();
+      fp.drops += port->drops();
+    }
+  }
+  return fp;
+}
+
+TEST(DeterminismTest, FaultScheduleReplaysBitIdentically) {
+  Fingerprint a = RunFaultFingerprint(555);
+  Fingerprint b = RunFaultFingerprint(555);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.drops, 0u);  // the schedule actually fired
+}
+
+TEST(DeterminismTest, FaultScheduleDivergesAcrossSeeds) {
+  Fingerprint a = RunFaultFingerprint(555);
+  Fingerprint b = RunFaultFingerprint(556);
   EXPECT_NE(a.events, b.events);
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/tfc/endpoints.h"
 #include "src/tfc/switch_port.h"
@@ -169,6 +170,78 @@ TEST(TfcEndpointTest, ProbeRetriedWhenUnansweredAndFlowRecovers) {
 
   egress->set_buffer_limit(original_limit);  // heal the path
   net.scheduler().RunUntil(Seconds(5));
+  EXPECT_TRUE(flow.window_acquired());
+  EXPECT_EQ(flow.delivered_bytes(), static_cast<uint64_t>(kMssBytes));
+}
+
+TEST(TfcEndpointTest, LostProbesAndRmaRecoverByBackoffWellBeforeRto) {
+  // Kill the first two acquisition probes on the sender's wire and the first
+  // RMA on the receiver's wire. The backoff timer (base 2 ms, doubling,
+  // jittered) must re-probe through all three losses and acquire the window
+  // long before the 200 ms RTO safety net would have acted.
+  Network net(5);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Switch* sw = net.AddSwitch("sw");
+  net.Link(a, sw, kGbps, Microseconds(5));
+  net.Link(sw, b, kGbps, Microseconds(5));
+  net.BuildRoutes();
+  InstallTfcSwitches(net);
+  FaultInjector inject(&net, 2);
+  inject.DropMatching(a->nic(), [budget = 2](const Packet& pkt) mutable {
+    const bool probe = pkt.type == PacketType::kData && pkt.payload == 0 && pkt.rm;
+    return probe && budget-- > 0;
+  });
+  inject.DropMatching(b->nic(), [budget = 1](const Packet& pkt) mutable {
+    return pkt.is_ack() && pkt.rma && budget-- > 0;
+  });
+
+  TfcSender flow(&net, a, b, TfcHostConfig());
+  flow.Write(4 * kMssBytes);
+  flow.Close();
+  flow.Start();
+
+  // Probe 1 lost, retry ~2-2.5 ms; probe 2 lost, retry ~4-5 ms; probe 3's
+  // RMA lost, retry ~8-10 ms; probe 4 completes the acquisition. Budget
+  // 60 ms covers all four rounds with jitter, still a third of one RTO.
+  net.scheduler().RunUntil(Milliseconds(60));
+  EXPECT_TRUE(flow.window_acquired());
+  EXPECT_GE(flow.probe_retries(), 3u);
+  EXPECT_EQ(inject.filtered_drops(), 3u);
+
+  net.scheduler().RunUntil(Seconds(1));
+  EXPECT_EQ(flow.delivered_bytes(), 4u * kMssBytes);
+  EXPECT_EQ(flow.state(), ReliableSender::State::kClosed);
+}
+
+TEST(TfcEndpointTest, ProbeRetryDisabledFallsBackToRto) {
+  // base = 0 turns the retry timer off: a lost probe then waits for the RTO
+  // (the pre-hardening behaviour, kept reachable for comparison).
+  Network net(5);
+  Host* a = net.AddHost("a");
+  Host* b = net.AddHost("b");
+  Switch* sw = net.AddSwitch("sw");
+  net.Link(a, sw, kGbps, Microseconds(5));
+  net.Link(sw, b, kGbps, Microseconds(5));
+  net.BuildRoutes();
+  InstallTfcSwitches(net);
+  FaultInjector inject(&net, 2);
+  inject.DropMatching(a->nic(), [budget = 1](const Packet& pkt) mutable {
+    const bool probe = pkt.type == PacketType::kData && pkt.payload == 0 && pkt.rm;
+    return probe && budget-- > 0;
+  });
+
+  TfcHostConfig config;
+  config.probe_retry_base = 0;
+  TfcSender flow(&net, a, b, config);
+  flow.Write(kMssBytes);
+  flow.Start();
+
+  net.scheduler().RunUntil(Milliseconds(150));  // inside the RTO window
+  EXPECT_FALSE(flow.window_acquired());
+  EXPECT_EQ(flow.probe_retries(), 0u);
+
+  net.scheduler().RunUntil(Seconds(1));  // the RTO path still recovers
   EXPECT_TRUE(flow.window_acquired());
   EXPECT_EQ(flow.delivered_bytes(), static_cast<uint64_t>(kMssBytes));
 }

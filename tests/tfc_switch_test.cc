@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "src/net/fault.h"
 #include "src/net/network.h"
+#include "src/tfc/endpoints.h"
 #include "src/tfc/switch_port.h"
+#include "src/topo/topologies.h"
+#include "src/workload/persistent_flow.h"
 
 namespace tfc {
 namespace {
@@ -342,6 +347,145 @@ TEST_F(TfcPortFixture, DelayFunctionCanBeDisabled) {
     EXPECT_EQ(raw->window, 200u);  // untouched
   }
   EXPECT_EQ(agent_->delayed_acks(), 0u);
+}
+
+// --- resilience: FIN purge, age expiry, forced delimiter loss ---
+
+TEST_F(TfcPortFixture, FinPurgesThatFlowsParkedAcksOnly) {
+  // Exhaust the counter, then park grants for flows 6 and 7.
+  for (int i = 0; i < 2; ++i) {
+    PacketPtr ack = MakeRmaAck(5, 200);
+    ASSERT_TRUE(agent_->OnReverse(ack));
+  }
+  PacketPtr a6 = MakeRmaAck(6, 200);
+  PacketPtr a7 = MakeRmaAck(7, 200);
+  ASSERT_FALSE(agent_->OnReverse(a6));
+  ASSERT_FALSE(agent_->OnReverse(a7));
+  ASSERT_EQ(agent_->delay_queue_length(), 2u);
+
+  // Flow 6 FINs on the data path: its parked grant is destroyed, flow 7's
+  // survives and is still released later.
+  Packet fin = MakeData(6, 0, false);
+  fin.type = PacketType::kFin;
+  agent_->OnEgress(fin);
+  EXPECT_EQ(agent_->arbiter_expired(), 1u);
+  EXPECT_EQ(agent_->delay_queue_length(), 1u);
+
+  net_->scheduler().Run();
+  EXPECT_EQ(agent_->delay_queue_length(), 0u);
+  EXPECT_EQ(agent_->arbiter_expired(), 1u);  // flow 7's was released, not expired
+}
+
+TEST_F(TfcPortFixture, AgedParkedAckExpiresInsteadOfWaitingOutDeepDebt) {
+  TfcSwitchConfig config;
+  config.delay_park_timeout = Microseconds(100);
+  Build(config);
+  CountingTracer tracer;
+  // Drain the cap, then sink the counter far below zero with a full-window
+  // grant, so the next refill to one quantum takes ~670 us — far past the
+  // 100 us park timeout.
+  for (int i = 0; i < 2; ++i) {
+    PacketPtr ack = MakeRmaAck(5, 200);
+    ASSERT_TRUE(agent_->OnReverse(ack));
+  }
+  PacketPtr big = MakeRmaAck(5, 100'000);
+  ASSERT_TRUE(agent_->OnReverse(big));
+
+  net_->set_tracer(&tracer);
+  PacketPtr parked = MakeRmaAck(6, 200);
+  ASSERT_FALSE(agent_->OnReverse(parked));
+
+  const TimeNs start = net_->scheduler().now();
+  net_->scheduler().Run();
+  // The release timer fired at the park timeout (not the full refill wait)
+  // and expired the aged grant instead of releasing it.
+  EXPECT_EQ(agent_->arbiter_expired(), 1u);
+  EXPECT_EQ(agent_->delay_queue_length(), 0u);
+  EXPECT_EQ(tracer.drops, 1u);
+  EXPECT_LT(net_->scheduler().now() - start, Microseconds(300));
+
+  double value = 0.0;
+  ASSERT_TRUE(net_->metrics().Read("tfc.sw.p1.arbiter_expired", &value));
+  EXPECT_EQ(value, 1.0);
+  net_->set_tracer(nullptr);
+}
+
+TEST_F(TfcPortFixture, ZeroParkTimeoutDisablesExpiry) {
+  TfcSwitchConfig config;
+  config.delay_park_timeout = 0;
+  Build(config);
+  for (int i = 0; i < 2; ++i) {
+    PacketPtr ack = MakeRmaAck(5, 200);
+    ASSERT_TRUE(agent_->OnReverse(ack));
+  }
+  PacketPtr big = MakeRmaAck(5, 100'000);
+  ASSERT_TRUE(agent_->OnReverse(big));
+  PacketPtr parked = MakeRmaAck(6, 200);
+  ASSERT_FALSE(agent_->OnReverse(parked));
+
+  net_->scheduler().Run();
+  // With expiry disabled the grant waits out the debt and is released.
+  EXPECT_EQ(agent_->arbiter_expired(), 0u);
+  EXPECT_EQ(agent_->delay_queue_length(), 0u);
+  EXPECT_EQ(agent_->delayed_acks(), 1u);
+}
+
+TEST(TfcDelimiterFailoverTest, ForcedRmLossFailsOverWithinBackoffBound) {
+  // End to end: two flows share an egress; the delimiter's RM packets are
+  // then force-dropped on its sender's wire. The agent must depose the
+  // silent delimiter within the 2^k * rtt_last backoff and adopt the
+  // surviving flow, with rtt_b staying sane across the handover.
+  Network net(9);
+  StarTopology topo = BuildStar(net, 3, LinkOptions(), kGbps, Microseconds(20));
+  InstallTfcSwitches(net);
+  Port* egress = Network::FindPort(topo.sw, topo.hosts[0]);
+  TfcPortAgent* agent = TfcPortAgent::FromPort(egress);
+
+  PersistentFlow f1(std::make_unique<TfcSender>(&net, topo.hosts[1], topo.hosts[0],
+                                                TfcHostConfig()));
+  PersistentFlow f2(std::make_unique<TfcSender>(&net, topo.hosts[2], topo.hosts[0],
+                                                TfcHostConfig()));
+  f1.Start();
+  f2.Start();
+  net.scheduler().RunUntil(Milliseconds(30));
+  const int delim = agent->delimiter_flow();
+  ASSERT_GE(delim, 0);
+  ASSERT_GT(agent->slots_completed(), 0u);
+  const uint64_t failovers_before = agent->delimiter_failovers();
+  const TimeNs rtt_last = agent->rtt_m();
+  ASSERT_GT(rtt_last, 0);
+
+  // Kill every further RM of the delimiter flow on its sender's NIC.
+  FaultInjector inject(&net, 4);
+  Host* delim_host =
+      f1.sender().flow_id() == delim ? topo.hosts[1] : topo.hosts[2];
+  ASSERT_TRUE(f1.sender().flow_id() == delim || f2.sender().flow_id() == delim);
+  inject.DropMatching(delim_host->nic(), [delim](const Packet& pkt) {
+    return pkt.rm && pkt.flow_id == delim;
+  });
+
+  const TimeNs loss_start = net.scheduler().now();
+  TimeNs elapsed = 0;
+  while (agent->delimiter_flow() == delim && elapsed < Milliseconds(50)) {
+    net.scheduler().RunUntil(net.scheduler().now() + Microseconds(50));
+    elapsed = net.scheduler().now() - loss_start;
+  }
+
+  EXPECT_NE(agent->delimiter_flow(), delim);
+  EXPECT_GT(agent->delimiter_failovers(), failovers_before);
+  // Re-election bound: first failover fires after 2*rtt_last of silence and
+  // adoption needs one further RM arrival; 2^3 * rtt_last covers both with
+  // the backoff's next doubling to spare.
+  EXPECT_LE(elapsed, 8 * rtt_last);
+  // rtt_b stays sane across the handover (re-seeded from rtt_last, then
+  // min-corrected): positive and no larger than the pre-loss slot length.
+  EXPECT_GT(agent->rtt_b(), 0);
+  EXPECT_LE(agent->rtt_b(), rtt_last);
+
+  net.scheduler().RunUntil(net.scheduler().now() + Milliseconds(10));
+  EXPECT_GT(agent->slots_completed(), 0u);  // new delimiter completes slots
+  const AuditReport report = net.RunAudit();
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST_F(TfcPortFixture, InstallAttachesAgentsToAllSwitchPorts) {

@@ -21,6 +21,14 @@ Rules enforced (see docs/correctness.md):
                   cost is a pointer bump, not formatting. The tracer and
                   exporter implementations themselves are allowlisted.
                   Suppress a sanctioned site with `// lint:allow hot-io`.
+  packet-drop     packet loss must stay auditable: the only sanctioned
+                  emission sites for kDrop / kFaultDrop trace events in src/
+                  are the port TX path (src/net/port.cc) and the fault
+                  injector (src/net/fault.cc). Any other layer that destroys
+                  a packet must either route it through those funnels or
+                  carry an explicit `// lint:allow packet-drop` with a
+                  counter/metric justifying the loss (e.g. host teardown
+                  drops, arbiter expiry).
 
 Exit status: 0 when clean, 1 when any violation is found.
 """
@@ -56,6 +64,14 @@ HOT_IO_ALLOWED_FILES = {
     "src/sim/telemetry.cc",
     "src/sim/check.h",
 }
+# packet-drop: the sanctioned drop-trace funnels. Everything else in src/
+# needs an explicit suppression tied to a counter.
+PACKET_DROP_RE = re.compile(r"EmitTrace\s*\(\s*TraceEventType::k(?:Fault)?Drop\b")
+PACKET_DROP_ALLOWED_FILES = {
+    "src/net/port.cc",
+    "src/net/fault.cc",
+}
+
 HOT_IO_RE = re.compile(
     r"\bstd::(cout|cerr|clog|ofstream|fstream|printf|fprintf)\b"
     r"|(?<![A-Za-z0-9_:])(printf|fprintf|fputs|fwrite|puts)\s*\("
@@ -108,6 +124,17 @@ def lint_file(path: Path, rel: str) -> list[str]:
                 f"{rel}:{lineno}: [hot-io] no stream/printf I/O in hot-path "
                 "layers; use the metric registry / tracer / exporter "
                 "(src/sim/telemetry.h)"
+            )
+        if (
+            PACKET_DROP_RE.search(code)
+            and rel.startswith("src/")
+            and rel not in PACKET_DROP_ALLOWED_FILES
+            and not allow(raw, "packet-drop")
+        ):
+            errors.append(
+                f"{rel}:{lineno}: [packet-drop] drop traces may only be "
+                "emitted by src/net/port.cc or src/net/fault.cc; other "
+                "sites need a counter and `// lint:allow packet-drop`"
             )
     return errors
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
-#   ./ci.sh            full matrix: release, asan-ubsan, hardened, lint, tidy,
-#                      telemetry, chaos
+#   ./ci.sh            full matrix: release, asan-ubsan, hardened, tsan, lint,
+#                      tidy, telemetry, chaos
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -23,6 +23,20 @@ leg_release()    { run_preset release; }
 leg_asan_ubsan() { run_preset asan-ubsan; }
 leg_hardened()   { run_preset hardened; }
 leg_lint()       { echo "=== [lint] tools/lint.py ==="; python3 tools/lint.py; }
+
+# ThreadSanitizer leg: the tsan preset's ctest filter covers the concurrent
+# surface — the parallel sweep runner, the multi-instance (two Networks from
+# two threads) regression tests, chaos replay, and determinism. Any data race
+# in the sweep pool or a hidden process-wide cache fails this leg. The
+# parallel-vs-serial bit-identity check rides along in sweep_test.
+leg_tsan() {
+  run_preset tsan
+  echo "--- [tsan] tfcsim --sweep smoke (parallel CLI path under TSan) ---"
+  cmake --build build-tsan -j "$(nproc)" --target tfcsim
+  ./build-tsan/examples/tfcsim --workload=incast --protocol=all \
+      --topology=testbed --senders=6 --block_kb=64 --rounds=2 \
+      --sweep=4 --jobs=4 --telemetry-dir=build-tsan/sweep-smoke
+}
 leg_tidy()       { echo "=== [tidy] tools/tidy.sh ==="; bash tools/tidy.sh build; }
 
 # Telemetry-enabled incast smoke on the paper's Fig. 4 testbed topology:
@@ -75,6 +89,7 @@ case "${1:-all}" in
   release)    leg_release ;;
   asan-ubsan) leg_asan_ubsan ;;
   hardened)   leg_hardened ;;
+  tsan)       leg_tsan ;;
   lint)       leg_lint ;;
   tidy)       leg_tidy ;;
   telemetry)  leg_telemetry ;;
@@ -83,6 +98,7 @@ case "${1:-all}" in
     leg_release
     leg_asan_ubsan
     leg_hardened
+    leg_tsan
     leg_lint
     leg_tidy
     leg_telemetry
@@ -90,7 +106,7 @@ case "${1:-all}" in
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|lint|tidy|telemetry|chaos|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|telemetry|chaos|all]" >&2
     exit 2
     ;;
 esac

@@ -20,7 +20,10 @@
 //   --telemetry-interval=US   recorder sampling period in microseconds
 //   --fault-spec=SPEC         inject faults (see src/net/fault.h), e.g.
 //                             drop=0.01,flap=5ms/500us,wipe=10ms,seed=7
+//   --sweep=N                 run N independent repetitions (seeds seed..seed+N-1)
+//   --jobs=J                  sweep worker threads (default: all hardware threads)
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +34,7 @@
 
 #include "src/net/fault.h"
 #include "src/net/trace.h"
+#include "src/sim/sweep.h"
 #include "src/sim/telemetry.h"
 #include "src/topo/topologies.h"
 #include "src/workload/benchmark_traffic.h"
@@ -57,6 +61,27 @@ struct Options {
   std::string telemetry_dir;
   std::string fault_spec;
   uint64_t telemetry_interval_us = 1000;
+  int sweep = 1;
+  int jobs = 0;  // 0 = SweepRunner::DefaultWorkers()
+};
+
+// Buffered per-run output: sweep workers must never write to stdout directly
+// (parallel runs would interleave), so every run appends here and main()
+// prints reports in submission order. Identical bytes whether the run
+// executed serially or on a pool.
+struct Report {
+  std::string text;
+
+  __attribute__((format(printf, 2, 3))) void Printf(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    char buf[1024];
+    const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    if (n > 0) {
+      text.append(buf, std::min(static_cast<size_t>(n), sizeof buf - 1));
+    }
+  }
 };
 
 void PrintHelp() {
@@ -80,7 +105,10 @@ void PrintHelp() {
       "                            drop=0.01,ge=0.02/0.3/0.5,flap=5ms/500us,\n"
       "                            wipe=10ms,host_down=4ms+1ms,seed=7\n"
       "                            (keys: drop dup reorder reorder_delay ge\n"
-      "                             flap wipe host_down start stop seed)");
+      "                             flap wipe host_down start stop seed)\n"
+      "  --sweep=N        run N repetitions with seeds seed..seed+N-1;\n"
+      "                   telemetry lands in DIR/run-NNNN, DIR/sweep.json merges\n"
+      "  --jobs=J         sweep worker threads (default: hardware threads)");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -141,7 +169,8 @@ PortTotals SwitchTotals(const Network& net) {
   return totals;
 }
 
-int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
+int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
+           Report& rep) {
   ProtocolSuite suite;
   suite.protocol = protocol;
   Network net(opt.seed);
@@ -157,7 +186,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     FaultSpec spec;
     std::string error;
     if (!FaultSpec::Parse(opt.fault_spec, &spec, &error)) {
-      std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
+      rep.Printf("bad --fault-spec: %s\n", error.c_str());
       return 1;
     }
     inject = std::make_unique<FaultInjector>(&net, spec.seed);
@@ -169,7 +198,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
   if (!opt.trace_file.empty()) {
     trace_out.open(opt.trace_file);
     if (!trace_out) {
-      std::fprintf(stderr, "cannot open trace file '%s'\n", opt.trace_file.c_str());
+      rep.Printf("cannot open trace file '%s'\n", opt.trace_file.c_str());
       return 1;
     }
     tracer = std::make_unique<TextTracer>(&trace_out);
@@ -187,7 +216,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     recorder->Start(Microseconds(static_cast<TimeNs>(opt.telemetry_interval_us)));
   }
 
-  std::printf("--- %s | %s | %s ---\n", suite.name(), opt.workload.c_str(),
+  rep.Printf("--- %s | %s | %s ---\n", suite.name(), opt.workload.c_str(),
               opt.topology.c_str());
 
   // Workload objects are hoisted out of the branches so their registered
@@ -200,7 +229,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
 
   if (opt.workload == "incast") {
     if (static_cast<size_t>(opt.senders) + 1 > topo.hosts.size()) {
-      std::fprintf(stderr, "topology too small for %d senders\n", opt.senders);
+      rep.Printf("topology too small for %d senders\n", opt.senders);
       return 1;
     }
     std::vector<Host*> responders(topo.hosts.begin() + 1,
@@ -226,7 +255,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
       }
     }
     PortTotals totals = SwitchTotals(net);
-    std::printf("rounds=%d/%d goodput=%.1fMbps timeouts=%llu maxTO/block=%.2f "
+    rep.Printf("rounds=%d/%d goodput=%.1fMbps timeouts=%llu maxTO/block=%.2f "
                 "drops=%llu maxq=%.1fKB\n",
                 app.rounds_completed(), opt.rounds, app.goodput_bps() / 1e6,
                 static_cast<unsigned long long>(app.total_timeouts()),
@@ -245,7 +274,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     app.Start();
     net.scheduler().Run();
     PortTotals totals = SwitchTotals(net);
-    std::printf("flows=%zu/%zu elapsed=%.3fs goodput=%.1fMbps timeouts=%llu "
+    rep.Printf("flows=%zu/%zu elapsed=%.3fs goodput=%.1fMbps timeouts=%llu "
                 "drops=%llu maxq=%.1fKB\n",
                 app.flows_completed(), app.flows_total(), ToSeconds(app.elapsed()),
                 app.goodput_bps() / 1e6,
@@ -265,7 +294,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
       delivered += f->delivered_bytes();
     }
     PortTotals totals = SwitchTotals(net);
-    std::printf("flows=%zu goodput=%.1fMbps drops=%llu maxq=%.1fKB\n", flows.size(),
+    rep.Printf("flows=%zu goodput=%.1fMbps drops=%llu maxq=%.1fKB\n", flows.size(),
                 static_cast<double>(delivered) * 8.0 / opt.duration_s / 1e6,
                 static_cast<unsigned long long>(totals.drops),
                 static_cast<double>(totals.max_queue) / 1024.0);
@@ -276,7 +305,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     BenchmarkTrafficApp& app = *bench_app;
     app.Start();
     net.scheduler().RunUntil(Seconds(opt.duration_s) + Seconds(30));
-    std::printf("flows=%llu/%llu query FCT: mean=%.1fus 99th=%.1fus 99.9th=%.1fus "
+    rep.Printf("flows=%llu/%llu query FCT: mean=%.1fus 99th=%.1fus 99.9th=%.1fus "
                 "timeouts=%llu\n",
                 static_cast<unsigned long long>(app.flows_completed()),
                 static_cast<unsigned long long>(app.flows_started()),
@@ -284,12 +313,12 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
                 app.fct().query().Percentile(99.9),
                 static_cast<unsigned long long>(app.total_timeouts()));
   } else {
-    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+    rep.Printf("unknown workload '%s'\n", opt.workload.c_str());
     return 1;
   }
 
   if (inject != nullptr) {
-    std::printf("faults: drops=%llu (rand=%llu burst=%llu link=%llu) dups=%llu "
+    rep.Printf("faults: drops=%llu (rand=%llu burst=%llu link=%llu) dups=%llu "
                 "reorders=%llu wipes=%llu link_transitions=%llu downtime=%.3fms\n",
                 static_cast<unsigned long long>(inject->drops()),
                 static_cast<unsigned long long>(inject->random_drops()),
@@ -303,7 +332,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
   }
 
   if (tracer != nullptr) {
-    std::printf("trace: %llu events -> %s\n",
+    rep.Printf("trace: %llu events -> %s\n",
                 static_cast<unsigned long long>(tracer->events_written()),
                 opt.trace_file.c_str());
     net.set_tracer(nullptr);
@@ -332,10 +361,10 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir) {
     std::string error;
     if (!WriteRunDirectory(run_dir, manifest, net.metrics(), recorder.get(),
                            &net.profiler(), &error)) {
-      std::fprintf(stderr, "telemetry export failed: %s\n", error.c_str());
+      rep.Printf("telemetry export failed: %s\n", error.c_str());
       return 1;
     }
-    std::printf("telemetry: %zu series, %llu ticks -> %s/\n",
+    rep.Printf("telemetry: %zu series, %llu ticks -> %s/\n",
                 recorder->SeriesNames().size(),
                 static_cast<unsigned long long>(recorder->ticks()), run_dir.c_str());
   }
@@ -375,14 +404,24 @@ int main(int argc, char** argv) {
       opt.gbps = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "seed", &value)) {
       opt.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "sweep", &value)) {
+      opt.sweep = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "jobs", &value)) {
+      opt.jobs = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg);
       return 1;
     }
   }
   if (opt.senders < 1 || opt.flows < 1 || opt.rounds < 1 || opt.gbps < 1 ||
-      opt.duration_s <= 0 || opt.telemetry_interval_us < 1) {
+      opt.duration_s <= 0 || opt.telemetry_interval_us < 1 || opt.sweep < 1 ||
+      opt.jobs < 0) {
     std::fprintf(stderr, "numeric flags must be positive\n");
+    return 1;
+  }
+  if (opt.sweep > 1 && !opt.trace_file.empty()) {
+    std::fprintf(stderr, "--trace and --sweep cannot combine "
+                         "(runs would clobber one trace file)\n");
     return 1;
   }
 
@@ -400,16 +439,84 @@ int main(int argc, char** argv) {
                  opt.protocol.c_str());
     return 1;
   }
-  for (tfc::Protocol p : protocols) {
-    // With --protocol=all each protocol gets its own run subdirectory.
-    std::string run_dir = opt.telemetry_dir;
-    if (!run_dir.empty() && protocols.size() > 1) {
-      run_dir += std::string("/") + tfc::ProtocolName(p);
+  if (opt.sweep == 1) {
+    for (tfc::Protocol p : protocols) {
+      // With --protocol=all each protocol gets its own run subdirectory.
+      std::string run_dir = opt.telemetry_dir;
+      if (!run_dir.empty() && protocols.size() > 1) {
+        run_dir += std::string("/") + tfc::ProtocolName(p);
+      }
+      Report rep;
+      const int rc = RunOne(opt, p, run_dir, rep);
+      std::fputs(rep.text.c_str(), stdout);
+      if (rc != 0) {
+        return rc;
+      }
     }
-    const int rc = RunOne(opt, p, run_dir);
-    if (rc != 0) {
-      return rc;
+    return 0;
+  }
+
+  // Sweep mode: one job per (repetition, protocol), each with its own seed
+  // and telemetry subdirectory, executed on the worker pool. Every job owns
+  // a complete simulation instance; reports print in submission order.
+  const int workers = opt.jobs > 0 ? opt.jobs : tfc::SweepRunner::DefaultWorkers();
+  tfc::SweepRunner runner(workers);
+  for (int i = 0; i < opt.sweep; ++i) {
+    char run_name[32];
+    std::snprintf(run_name, sizeof run_name, "run-%04d", i);
+    for (tfc::Protocol p : protocols) {
+      std::string name = run_name;
+      if (protocols.size() > 1) {
+        name += std::string("/") + tfc::ProtocolName(p);
+      }
+      Options job_opt = opt;
+      job_opt.seed = opt.seed + static_cast<uint64_t>(i);
+      std::string run_dir;
+      if (!opt.telemetry_dir.empty()) {
+        run_dir = opt.telemetry_dir + "/" + name;
+      }
+      runner.Add(name, [job_opt, p, run_dir](std::string* report) {
+        Report rep;
+        const int rc = RunOne(job_opt, p, run_dir, rep);
+        *report = std::move(rep.text);
+        return rc;
+      });
     }
   }
-  return 0;
+  const std::vector<tfc::SweepResult> results = runner.Run();
+  int exit_code = 0;
+  for (const tfc::SweepResult& r : results) {
+    std::printf("=== %s (seed %llu, %.3fs) ===\n", r.name.c_str(),
+                static_cast<unsigned long long>(
+                    opt.seed + static_cast<uint64_t>(r.index) /
+                                   static_cast<uint64_t>(protocols.size())),
+                r.wall_seconds);
+    std::fputs(r.report.c_str(), stdout);
+    if (r.exit_code != 0) {
+      std::printf("(exit code %d)\n", r.exit_code);
+      exit_code = exit_code == 0 ? r.exit_code : exit_code;
+    }
+  }
+  if (!opt.telemetry_dir.empty()) {
+    tfc::RunManifest sweep_manifest;
+    sweep_manifest.Set("tool", "tfcsim");
+    sweep_manifest.Set("workload", opt.workload);
+    sweep_manifest.Set("protocol", opt.protocol);
+    sweep_manifest.Set("topology", opt.topology);
+    sweep_manifest.SetInt("base_seed", static_cast<int64_t>(opt.seed));
+    sweep_manifest.SetInt("sweep", opt.sweep);
+    sweep_manifest.SetInt("jobs", workers);
+    if (!opt.fault_spec.empty()) {
+      sweep_manifest.Set("fault_spec", opt.fault_spec);
+    }
+    std::string error;
+    if (!tfc::WriteSweepManifest(opt.telemetry_dir + "/sweep.json", sweep_manifest,
+                                 results, &error)) {
+      std::fprintf(stderr, "sweep manifest failed: %s\n", error.c_str());
+      return exit_code != 0 ? exit_code : 1;
+    }
+    std::printf("sweep: %d runs x %zu protocol(s) on %d worker(s) -> %s/sweep.json\n",
+                opt.sweep, protocols.size(), workers, opt.telemetry_dir.c_str());
+  }
+  return exit_code;
 }

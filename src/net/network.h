@@ -1,5 +1,13 @@
 // Network: owns the scheduler, RNG, nodes, and links; computes routes.
 //
+// Thread-compatibility contract (docs/correctness.md "Thread safety"):
+// a Network and everything it owns — Scheduler, PacketPool,
+// MetricRegistry, Profiler, AuditRegistry, tracer, RNG — is *confined*:
+// one thread drives one instance, with no cross-instance shared state, so
+// distinct instances run concurrently without synchronization. The
+// parallel sweep runner (src/sim/sweep.h) and the MultiInstance tests in
+// tests/sweep_test.cc rely on exactly this.
+//
 // Typical construction:
 //   Network net(/*seed=*/42);
 //   Host* a = net.AddHost("a");

@@ -20,6 +20,11 @@
 // src/sim where heap-allocating type-erased callables are banned by
 // tools/lint.py, and a registration is always a {this}-capture that fits
 // inline.
+//
+// Confined, not shared: each Network owns its AuditRegistry and components
+// register with their own Network's instance — there is deliberately no
+// process-wide registry, so two simulations auditing concurrently (sweep
+// workers, tests/sweep_test.cc MultiInstance*) never touch each other.
 
 #ifndef SRC_SIM_AUDIT_H_
 #define SRC_SIM_AUDIT_H_

@@ -13,6 +13,11 @@
 // the enable flag gates exactly those reads, so a disabled profiler adds a
 // predictable branch and nothing else to the hot path (regression-tested by
 // bench/micro_core.cc against BENCH_core.json).
+//
+// Confined, not shared: a Profiler belongs to one Network, sites register
+// against that instance (never a process-wide table), so concurrent
+// simulations — e.g. sweep workers (src/sim/sweep.h) — profile
+// independently without locks.
 
 #ifndef SRC_SIM_PROFILE_H_
 #define SRC_SIM_PROFILE_H_

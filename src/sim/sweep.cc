@@ -1,0 +1,136 @@
+#include "src/sim/sweep.h"
+
+// The sweep runner is the one sanctioned threading site in src/ (with
+// src/sim/thread_annotations.h): it owns the worker pool, and everything it
+// hands a worker is confined to that worker. File I/O here is cold — once
+// per sweep, after the simulations finish. lint:allow hot-io
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace tfc {
+
+SweepRunner::SweepRunner(int workers) : workers_(workers < 1 ? 1 : workers) {}
+
+void SweepRunner::Add(std::string name, JobFn fn) {
+  TFC_CHECK(fn != nullptr);
+  jobs_.push_back(Job{std::move(name), std::move(fn)});
+}
+
+int SweepRunner::DefaultWorkers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void SweepRunner::WorkerLoop() {
+  for (;;) {
+    size_t i;
+    {
+      MutexLock lock(&mu_);
+      if (next_ >= jobs_.size()) {
+        return;
+      }
+      i = next_++;
+    }
+    // Run the job outside the lock: jobs_ is immutable during Run() and the
+    // result slot is claimed exclusively via next_, so workers only contend
+    // on the two short critical sections around claim and store.
+    SweepResult r;
+    r.index = static_cast<int>(i);
+    r.name = jobs_[i].name;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      r.exit_code = jobs_[i].fn(&r.report);
+    } catch (const std::exception& e) {
+      r.exit_code = 70;  // EX_SOFTWARE
+      r.report += std::string("sweep job threw: ") + e.what() + "\n";
+    } catch (...) {
+      r.exit_code = 70;
+      r.report += "sweep job threw a non-std exception\n";
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    r.wall_seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+    {
+      MutexLock lock(&mu_);
+      results_[i] = std::move(r);
+    }
+  }
+}
+
+std::vector<SweepResult> SweepRunner::Run() {
+  {
+    MutexLock lock(&mu_);
+    TFC_CHECK_MSG(next_ == 0 && results_.empty(),
+                  "SweepRunner::Run is single-use");
+    results_.resize(jobs_.size());
+  }
+  const size_t pool = std::min<size_t>(static_cast<size_t>(workers_), jobs_.size());
+  if (pool <= 1) {
+    // Serial path: run in the calling thread — no pool, identical results.
+    WorkerLoop();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (size_t w = 0; w < pool; ++w) {
+      threads.emplace_back([this] { WorkerLoop(); });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  MutexLock lock(&mu_);
+  return std::move(results_);
+}
+
+bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
+                        const std::vector<SweepResult>& results,
+                        std::string* error) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      *error = "create_directories(" + parent.string() + "): " + ec.message();
+      return false;
+    }
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  f << "{\n  \"schema_version\": 1,\n";
+  f << "  \"git_describe\": \"" << JsonEscape(GitDescribe()) << "\",\n";
+  f << "  \"sweep\": {";
+  bool first = true;
+  for (const auto& [key, json] : extra.entries()) {
+    f << (first ? "\n" : ",\n") << "    \"" << JsonEscape(key) << "\": " << json;
+    first = false;
+  }
+  f << (first ? "}," : "\n  },") << "\n";
+  f << "  \"runs\": [";
+  first = true;
+  for (const SweepResult& r : results) {
+    f << (first ? "\n" : ",\n") << "    {\"index\": " << r.index << ", \"name\": \""
+      << JsonEscape(r.name) << "\", \"exit_code\": " << r.exit_code
+      << ", \"wall_seconds\": " << JsonNumber(r.wall_seconds) << "}";
+    first = false;
+  }
+  f << (first ? "]" : "\n  ]") << "\n}\n";
+  f.flush();
+  if (!f) {
+    *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tfc

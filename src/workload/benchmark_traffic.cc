@@ -25,7 +25,11 @@ EmpiricalCdf WebSearchFlowSizes() {
 BenchmarkTrafficApp::BenchmarkTrafficApp(Network* net, const ProtocolSuite& suite,
                                          std::vector<Host*> hosts,
                                          const BenchmarkTrafficConfig& config)
-    : net_(net), suite_(suite), hosts_(std::move(hosts)), config_(config) {
+    : net_(net),
+      suite_(suite),
+      hosts_(std::move(hosts)),
+      config_(config),
+      background_sizes_(WebSearchFlowSizes()) {
   TFC_CHECK_GE(hosts_.size(), 2u);
 }
 
@@ -84,7 +88,7 @@ void BenchmarkTrafficApp::LaunchQuery() {
 }
 
 void BenchmarkTrafficApp::LaunchBackground() {
-  static const EmpiricalCdf kSizes = WebSearchFlowSizes();
+  const EmpiricalCdf& kSizes = background_sizes_;
   const size_t n = hosts_.size();
   const size_t src = static_cast<size_t>(net_->rng().UniformInt(0, static_cast<int64_t>(n) - 1));
   size_t dst = static_cast<size_t>(net_->rng().UniformInt(0, static_cast<int64_t>(n) - 2));

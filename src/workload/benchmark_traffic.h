@@ -64,6 +64,9 @@ class BenchmarkTrafficApp {
   ProtocolSuite suite_;
   std::vector<Host*> hosts_;
   BenchmarkTrafficConfig config_;
+  // Per-instance copy (not a function-local static): concurrent sweep
+  // workers each own their sampler, so no cross-simulation sharing.
+  EmpiricalCdf background_sizes_;
   FctRecorder fct_;
   std::vector<std::unique_ptr<ReliableSender>> live_flows_;
   uint64_t flows_started_ = 0;

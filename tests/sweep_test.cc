@@ -1,0 +1,369 @@
+// Parallel experiment-sweep runner (src/sim/sweep.h) + multi-instance
+// thread-compatibility of the simulator core.
+//
+// The contract under test is the one the Fig. 15/16 large-scale sweeps
+// depend on: running N independent simulations on a worker pool must
+// produce *bit-identical* per-run output to running them serially — the
+// pool changes wall-clock, never results. The MultiInstance tests are the
+// regression tests for the shared-state sweep (process-wide caches such as
+// GitDescribe) and are the designated prey of the tsan preset: any hidden
+// cross-simulation mutable state shows up here as a TSan report.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/fault.h"
+#include "src/net/network.h"
+#include "src/sim/sweep.h"
+#include "src/sim/telemetry.h"
+#include "src/topo/topologies.h"
+#include "src/workload/incast.h"
+#include "src/workload/protocol.h"
+
+namespace tfc {
+namespace {
+
+Protocol ProtocolForIndex(int i) {
+  switch (i % 3) {
+    case 0:
+      return Protocol::kTfc;
+    case 1:
+      return Protocol::kDctcp;
+    default:
+      return Protocol::kTcp;
+  }
+}
+
+// One self-contained Fig. 4 testbed incast run: builds its own Network,
+// runs to completion, and (when `dir` is non-empty) exports a telemetry run
+// directory. Returns a compact result line so sweeps can also be compared
+// without touching the filesystem.
+std::string RunTestbedIncast(uint64_t seed, Protocol protocol, const std::string& dir) {
+  ProtocolSuite suite;
+  suite.protocol = protocol;
+  Network net(seed);
+  LinkOptions link_opts;
+  link_opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+  TestbedTopology topo = BuildTestbed(net, link_opts, kGbps);
+  suite.InstallSwitchLogic(net);
+
+  TimeSeriesRecorder recorder(&net.scheduler(), &net.metrics());
+  for (const char* prefix : {"port.", "tfc.", "flow.", "sim.", "pool."}) {
+    recorder.WatchPrefix(prefix);
+  }
+  recorder.Start(Microseconds(500));
+
+  std::vector<Host*> responders(topo.hosts.begin() + 1, topo.hosts.begin() + 1 + 6);
+  IncastConfig cfg;
+  cfg.block_bytes = 64 * 1024;
+  cfg.rounds = 2;
+  IncastApp app(&net, suite, topo.hosts[0], responders, cfg);
+  app.Start();
+  net.scheduler().Run();
+  recorder.Stop();
+
+  if (!dir.empty()) {
+    RunManifest manifest;
+    manifest.Set("protocol", suite.name());
+    manifest.SetInt("seed", static_cast<int64_t>(seed));
+    std::string error;
+    EXPECT_TRUE(WriteRunDirectory(dir, manifest, net.metrics(), &recorder,
+                                  &net.profiler(), &error))
+        << error;
+  }
+
+  std::ostringstream line;
+  line << ProtocolName(protocol) << " seed=" << seed
+       << " rounds=" << app.rounds_completed() << " goodput=" << app.goodput_bps()
+       << " executed=" << net.scheduler().executed();
+  return line.str();
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner mechanics
+// ---------------------------------------------------------------------------
+
+TEST(SweepRunnerTest, ResultsLandInSubmissionOrderWithBufferedReports) {
+  SweepRunner runner(/*workers=*/4);
+  constexpr int kJobs = 16;
+  for (int i = 0; i < kJobs; ++i) {
+    runner.Add("job" + std::to_string(i), [i](std::string* report) {
+      *report = "hello from " + std::to_string(i) + "\n";
+      return i == 11 ? 3 : 0;  // one deliberate failure
+    });
+  }
+  std::vector<SweepResult> results = runner.Run();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kJobs));
+  for (int i = 0; i < kJobs; ++i) {
+    const SweepResult& r = results[static_cast<size_t>(i)];
+    EXPECT_EQ(r.index, i);
+    EXPECT_EQ(r.name, "job" + std::to_string(i));
+    EXPECT_EQ(r.report, "hello from " + std::to_string(i) + "\n");
+    EXPECT_EQ(r.exit_code, i == 11 ? 3 : 0);
+    EXPECT_GE(r.wall_seconds, 0.0);
+  }
+}
+
+TEST(SweepRunnerTest, SerialRunnerExecutesInline) {
+  // workers=1 must run jobs in the calling thread, in order.
+  SweepRunner runner(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> order{0};
+  for (int i = 0; i < 4; ++i) {
+    runner.Add("s" + std::to_string(i), [i, caller, &order](std::string*) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      EXPECT_EQ(order.fetch_add(1), i);
+      return 0;
+    });
+  }
+  std::vector<SweepResult> results = runner.Run();
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_EQ(order.load(), 4);
+}
+
+TEST(SweepRunnerTest, ThrowingJobBecomesExitCode70) {
+  SweepRunner runner(2);
+  runner.Add("ok", [](std::string*) { return 0; });
+  runner.Add("throws", [](std::string*) -> int {
+    throw std::runtime_error("boom");
+  });
+  std::vector<SweepResult> results = runner.Run();
+  EXPECT_EQ(results[0].exit_code, 0);
+  EXPECT_EQ(results[1].exit_code, 70);
+  EXPECT_NE(results[1].report.find("boom"), std::string::npos);
+}
+
+TEST(SweepRunnerTest, ManifestListsEveryRun) {
+  SweepRunner runner(2);
+  for (int i = 0; i < 3; ++i) {
+    runner.Add("m" + std::to_string(i), [](std::string*) { return 0; });
+  }
+  std::vector<SweepResult> results = runner.Run();
+  const std::string path =
+      ::testing::TempDir() + "/tfc_sweep_manifest_test/sweep.json";
+  std::filesystem::remove_all(std::filesystem::path(path).parent_path());
+  RunManifest extra;
+  extra.Set("tool", "sweep_test");
+  extra.SetInt("sweep", 3);
+  std::string error;
+  ASSERT_TRUE(WriteSweepManifest(path, extra, results, &error)) << error;
+  std::ifstream f(path);
+  std::stringstream text;
+  text << f.rdbuf();
+  const std::string json = text.str();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"sweep_test\""), std::string::npos);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(json.find("\"name\": \"m" + std::to_string(i) + "\""),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == serial, bit for bit
+// ---------------------------------------------------------------------------
+
+std::string ReadFile(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << p;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// manifest.json carries wall-clock fields (created_unix/created_utc) that
+// legitimately differ between two executions; every *simulation-derived*
+// field must still match exactly, so compare line by line minus those keys.
+std::string StripWallClockFields(const std::string& json) {
+  std::istringstream in(json);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"created_unix\"") != std::string::npos ||
+        line.find("\"created_utc\"") != std::string::npos) {
+      continue;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(SweepTest, EightRunParallelSweepIsBitIdenticalToSerial) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "tfc_sweep_bitident";
+  std::filesystem::remove_all(base);
+  constexpr int kRuns = 8;
+
+  // Mixed TFC/DCTCP/TCP over the Fig. 4 testbed, distinct seeds — the same
+  // grid twice: once serial, once on 8 workers.
+  std::vector<std::string> serial_lines;
+  std::vector<std::string> parallel_lines;
+  for (const char* mode : {"serial", "parallel"}) {
+    SweepRunner runner(mode == std::string("serial") ? 1 : 8);
+    for (int i = 0; i < kRuns; ++i) {
+      const std::string dir = (base / mode / ("run-" + std::to_string(i))).string();
+      const uint64_t seed = 100 + static_cast<uint64_t>(i);
+      const Protocol protocol = ProtocolForIndex(i);
+      runner.Add("run-" + std::to_string(i), [seed, protocol, dir](std::string* report) {
+        *report = RunTestbedIncast(seed, protocol, dir);
+        return 0;
+      });
+    }
+    for (const SweepResult& r : runner.Run()) {
+      ASSERT_EQ(r.exit_code, 0) << r.name << ": " << r.report;
+      (mode == std::string("serial") ? serial_lines : parallel_lines)
+          .push_back(r.report);
+    }
+  }
+
+  // Same results, in the same order.
+  ASSERT_EQ(serial_lines.size(), parallel_lines.size());
+  for (size_t i = 0; i < serial_lines.size(); ++i) {
+    EXPECT_EQ(serial_lines[i], parallel_lines[i]) << "run " << i;
+  }
+
+  // Same bytes on disk, file for file.
+  for (int i = 0; i < kRuns; ++i) {
+    const std::string run = "run-" + std::to_string(i);
+    for (const char* file : {"metrics.jsonl", "summary.json"}) {
+      EXPECT_EQ(ReadFile(base / "serial" / run / file),
+                ReadFile(base / "parallel" / run / file))
+          << run << "/" << file;
+    }
+    EXPECT_EQ(StripWallClockFields(ReadFile(base / "serial" / run / "manifest.json")),
+              StripWallClockFields(ReadFile(base / "parallel" / run / "manifest.json")))
+        << run << "/manifest.json";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-spec sweep: the PR 4 replay-equality contract survives the pool
+// ---------------------------------------------------------------------------
+
+// A seeded fault schedule over the testbed (parsed from the same spec string
+// the CLI accepts), reporting every injector counter plus per-flow delivery —
+// the field-for-field replay signature from tests/chaos_test.cc.
+std::string RunFaultCase(uint64_t seed) {
+  Network net(seed);
+  net.EnableAudit(Milliseconds(1));
+  TestbedTopology topo = BuildTestbed(net);
+  InstallTfcSwitches(net);
+
+  FaultSpec spec;
+  std::string error;
+  const std::string text =
+      "drop=0.004,ge=0.01/0.3/0.6,flap=2ms/300us,wipe=8ms,start=1ms,stop=30ms,seed=" +
+      std::to_string(seed * 977 + 13);
+  EXPECT_TRUE(FaultSpec::Parse(text, &spec, &error)) << error;
+  FaultInjector inject(&net, spec.seed);
+  inject.ApplySpec(spec);
+
+  ProtocolSuite suite;
+  constexpr int kPairs[4][2] = {{0, 3}, {1, 6}, {4, 2}, {7, 5}};
+  std::vector<std::unique_ptr<ReliableSender>> flows;
+  for (const auto& pair : kPairs) {
+    auto f = suite.MakeSender(&net, topo.hosts[static_cast<size_t>(pair[0])],
+                              topo.hosts[static_cast<size_t>(pair[1])]);
+    f->Write(96 * 1024);
+    f->Close();
+    f->Start();
+    flows.push_back(std::move(f));
+  }
+  net.scheduler().RunUntil(Seconds(10));
+
+  std::ostringstream line;
+  line << "seed=" << seed << " executed=" << net.scheduler().executed()
+       << " drops=" << inject.drops() << " dups=" << inject.dups()
+       << " reorders=" << inject.reorders() << " wipes=" << inject.agent_wipes()
+       << " transitions=" << inject.link_transitions()
+       << " down_ns=" << inject.link_down_ns();
+  for (const auto& f : flows) {
+    line << " d=" << f->delivered_bytes();
+  }
+  line << " audit_ok=" << net.RunAudit().ok();
+  return line.str();
+}
+
+TEST(SweepTest, FaultSpecSweepReplaysIdenticallyAcrossPoolSizes) {
+  constexpr int kRuns = 6;
+  std::vector<std::string> by_pool[2];
+  int which = 0;
+  for (int workers : {1, 6}) {
+    SweepRunner runner(workers);
+    for (int i = 0; i < kRuns; ++i) {
+      const uint64_t seed = 7 + static_cast<uint64_t>(i);
+      runner.Add("fault-" + std::to_string(i), [seed](std::string* report) {
+        *report = RunFaultCase(seed);
+        return 0;
+      });
+    }
+    for (const SweepResult& r : runner.Run()) {
+      ASSERT_EQ(r.exit_code, 0);
+      by_pool[which].push_back(r.report);
+    }
+    ++which;
+  }
+  ASSERT_EQ(by_pool[0].size(), by_pool[1].size());
+  for (size_t i = 0; i < by_pool[0].size(); ++i) {
+    EXPECT_EQ(by_pool[0][i], by_pool[1][i]) << "fault case " << i;
+    // The schedule actually injected something.
+    EXPECT_NE(by_pool[0][i].find(" drops="), std::string::npos);
+    EXPECT_EQ(by_pool[0][i].find(" drops=0 "), std::string::npos) << by_pool[0][i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-instance thread compatibility (the shared-state regression tests)
+// ---------------------------------------------------------------------------
+
+TEST(MultiInstanceTest, TwoSimulationsRunConcurrentlyFromTwoThreads) {
+  // Two full simulations, two protocols, constructed and destroyed on two
+  // plain threads with overlapping lifetimes. Before the shared-state sweep
+  // this was undefined behavior waiting to be scheduled (shared telemetry
+  // caches); now it must produce exactly the single-threaded results.
+  const std::string expect_a =
+      RunTestbedIncast(/*seed=*/41, Protocol::kTfc, /*dir=*/"");
+  const std::string expect_b =
+      RunTestbedIncast(/*seed=*/42, Protocol::kDctcp, /*dir=*/"");
+
+  std::string got_a;
+  std::string got_b;
+  std::thread ta([&got_a] { got_a = RunTestbedIncast(41, Protocol::kTfc, ""); });
+  std::thread tb([&got_b] { got_b = RunTestbedIncast(42, Protocol::kDctcp, ""); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(got_a, expect_a);
+  EXPECT_EQ(got_b, expect_b);
+}
+
+TEST(MultiInstanceTest, ConcurrentManifestExportsShareTheGitDescribeCache) {
+  // GitDescribe() is the one process-wide cache in the telemetry layer
+  // (popen, filled once, guarded by a tfc::Mutex). Hammer it from several
+  // threads while manifests export — TSan verifies the guard, and every
+  // caller must observe the same value.
+  const std::string first = GitDescribe();
+  std::vector<std::thread> threads;
+  std::vector<std::string> seen(8);
+  for (size_t t = 0; t < seen.size(); ++t) {
+    threads.emplace_back([t, &seen] { seen[t] = GitDescribe(); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::string& s : seen) {
+    EXPECT_EQ(s, first);
+  }
+}
+
+}  // namespace
+}  // namespace tfc

@@ -29,6 +29,17 @@ Rules enforced (see docs/correctness.md):
                   carry an explicit `// lint:allow packet-drop` with a
                   counter/metric justifying the loss (e.g. host teardown
                   drops, arbiter expiry).
+  raw-thread      threading primitives in src/ must be the annotated wrappers
+                  from src/sim/thread_annotations.h (tfc::Mutex, MutexLock,
+                  CondVar) so clang's -Wthread-safety sees every lock. Raw
+                  std::mutex / std::lock_guard / std::thread & co. are
+                  allowed only inside src/sim/thread_annotations.h (the
+                  wrappers themselves) and src/sim/sweep.cc (the worker
+                  pool). Suppress with `// lint:allow raw-thread`.
+  guarded-by      a tfc::Mutex that guards nothing is either dead or — worse
+                  — a lock someone forgot to annotate: every Mutex declared
+                  in src/ must have at least one TFC_GUARDED_BY /
+                  TFC_PT_GUARDED_BY user naming it in the same file.
 
 Exit status: 0 when clean, 1 when any violation is found.
 """
@@ -63,6 +74,9 @@ HOT_IO_ALLOWED_FILES = {
     "src/sim/telemetry.h",
     "src/sim/telemetry.cc",
     "src/sim/check.h",
+    # The sweep runner writes the merged sweep manifest once per sweep —
+    # orchestration-layer I/O, never per event.
+    "src/sim/sweep.cc",
 }
 # packet-drop: the sanctioned drop-trace funnels. Everything else in src/
 # needs an explicit suppression tied to a counter.
@@ -71,6 +85,26 @@ PACKET_DROP_ALLOWED_FILES = {
     "src/net/port.cc",
     "src/net/fault.cc",
 }
+
+# raw-thread: the annotated wrappers are the only threading primitives
+# allowed in src/ — everything else would be invisible to -Wthread-safety.
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any|thread|jthread"
+    r"|atomic|atomic_[a-z0-9_]+)\b"
+)
+RAW_THREAD_ALLOWED_FILES = {
+    "src/sim/thread_annotations.h",  # the wrappers themselves
+    "src/sim/sweep.cc",              # the worker pool (std::thread)
+}
+
+# guarded-by: a declared tfc::Mutex must be named by at least one
+# TFC_GUARDED_BY / TFC_PT_GUARDED_BY in the same file. Matches member and
+# namespace-scope declarations ("Mutex mu_;", "tfc::Mutex g_mu;"); pointers
+# and references ("Mutex* mu") are uses, not declarations, and are skipped.
+MUTEX_DECL_RE = re.compile(r"\b(?:tfc::)?Mutex\s+(\w+)\s*;")
+GUARDED_BY_RE = re.compile(r"\bTFC_(?:PT_)?GUARDED_BY\s*\(\s*([A-Za-z0-9_:.\->]+)\s*\)")
 
 HOT_IO_RE = re.compile(
     r"\bstd::(cout|cerr|clog|ofstream|fstream|printf|fprintf)\b"
@@ -84,6 +118,8 @@ def allow(line: str, tag: str) -> bool:
 
 def lint_file(path: Path, rel: str) -> list[str]:
     errors = []
+    mutex_decls: list[tuple[int, str]] = []  # (lineno, mutex name)
+    guarded_names: set[str] = set()
     for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
         m = INCLUDE_RE.match(raw)
         if m and not m.group(1).startswith(ROOT_PREFIXES):
@@ -135,6 +171,32 @@ def lint_file(path: Path, rel: str) -> list[str]:
                 f"{rel}:{lineno}: [packet-drop] drop traces may only be "
                 "emitted by src/net/port.cc or src/net/fault.cc; other "
                 "sites need a counter and `// lint:allow packet-drop`"
+            )
+        if (
+            RAW_THREAD_RE.search(code)
+            and rel.startswith("src/")
+            and rel not in RAW_THREAD_ALLOWED_FILES
+            and not allow(raw, "raw-thread")
+        ):
+            errors.append(
+                f"{rel}:{lineno}: [raw-thread] use the annotated wrappers "
+                "from src/sim/thread_annotations.h (tfc::Mutex / MutexLock / "
+                "CondVar), not raw std threading primitives"
+            )
+        if rel.startswith("src/") and rel != "src/sim/thread_annotations.h":
+            m = MUTEX_DECL_RE.search(code)
+            if m and not allow(raw, "guarded-by"):
+                mutex_decls.append((lineno, m.group(1)))
+            for g in GUARDED_BY_RE.finditer(code):
+                guarded_names.add(g.group(1))
+    for lineno, name in mutex_decls:
+        # The annotation may spell the mutex with qualifiers ("impl_->mu_");
+        # a substring match on the bare name keeps the rule usable.
+        if not any(name in g for g in guarded_names):
+            errors.append(
+                f"{rel}:{lineno}: [guarded-by] tfc::Mutex '{name}' has no "
+                "TFC_GUARDED_BY user in this file — annotate the data it "
+                "protects (or delete the unused lock)"
             )
     return errors
 

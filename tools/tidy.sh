@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# clang-tidy gate over every first-party translation unit.
+# clang-tidy gate over every first-party translation unit. Check groups
+# live in .clang-tidy (bugprone-*, concurrency-*, performance-*, a
+# modernize subset); concurrency-* exists for the one threaded corner of
+# the tree — the sweep worker pool and the annotated mutex wrappers.
 #
 # Usage: tools/tidy.sh [build-dir]
 #   build-dir must contain compile_commands.json (any preset configures one:

@@ -256,6 +256,8 @@ void BM_IncastTestbedTelemetryOn(benchmark::State& state) {
     app.Start();
     net.scheduler().RunUntil(Seconds(2));
     events += net.scheduler().executed();
+    state.counters["plan_rebuilds"] =
+        static_cast<double>(recorder.plan_rebuilds());
     series = static_cast<double>(recorder.SeriesNames().size());
     uint64_t run_samples = 0;
     recorder.ForEachSeries(

@@ -8,7 +8,9 @@
 # the parallel-sweep scaling is part of the recorded trajectory.
 #
 # Usage: bench/run_bench.sh [--quick] [benchmark_filter_regex]
-#   --quick   single repetition (default: 3 repetitions, mean reported)
+#   --quick   single repetition (default: 3 repetitions, randomly
+#             interleaved, minimum reported — see docs/perf.md on why
+#             mean-of-sequential-families is the wrong estimator here)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,7 +36,13 @@ trap 'rm -f "$RAW"' EXIT
 
 ARGS=(--benchmark_format=json "--benchmark_out=$RAW" "--benchmark_filter=$FILTER")
 if [ "$REPS" -gt 1 ]; then
-  ARGS+=("--benchmark_repetitions=$REPS" --benchmark_report_aggregates_only=true)
+  # Random interleaving runs the repetitions of all families shuffled
+  # together instead of family-after-family, so slow machine drift (this
+  # container shows ±15% over a multi-minute run) hits every benchmark
+  # equally rather than penalizing whichever family ran last. to_json.py
+  # then keeps the minimum repetition — the right estimator when noise is
+  # one-sided — which is what the ratio gates below compare.
+  ARGS+=("--benchmark_repetitions=$REPS" --benchmark_enable_random_interleaving=true)
 fi
 ./build/bench/micro_core "${ARGS[@]}"
 
@@ -68,8 +76,19 @@ def ips(prefix):
 off = ips("BM_IncastTestbedEventsPerSec")
 on = ips("BM_IncastTestbedTelemetryOn")
 if off and on:
-    print(f"\n  telemetry recorder overhead: {off / on:.2f}x slower with a"
+    ratio = off / on
+    print(f"\n  telemetry recorder overhead: {ratio:.2f}x slower with a"
           f" 100us full-registry recorder ({off:.3e} -> {on:.3e} events/s)")
+    # Gate: the compiled-sample-plan recorder holds recording overhead to
+    # <=1.5x of the telemetry-off baseline (it was ~10x with per-tick
+    # string-map lookups; measured ~1.3x after the compiled-plan rework —
+    # docs/perf.md). A breach means someone put strings back on the tick
+    # path.
+    if ratio > 1.5:
+        import sys
+        print("error: telemetry-on recording is >1.5x slower than the "
+              "telemetry-off baseline", file=sys.stderr)
+        sys.exit(1)
 
 # Guard: an attached-but-idle fault injector must stay close to the plain
 # data path (docs/robustness.md). Measured cost is ~1.1x (one hash lookup +

@@ -5,8 +5,10 @@ Usage: to_json.py <benchmark_out.json> <BENCH_core.json>
 
 The output is a flat {bench_name: {"items_per_sec": float, "ns_per_op": float}}
 map, one entry per benchmark, so successive PRs can diff a stable, minimal
-schema. When repetitions are enabled only the *_mean aggregate rows are kept
-(under their base name); otherwise the raw rows are used as-is.
+schema. With repetitions, the kept entry is the repetition with the lowest
+cpu_time (the minimum is the robust estimator under one-sided machine
+noise; run_bench.sh interleaves the repetitions so drift is shared across
+families); aggregate rows are ignored.
 """
 
 import json
@@ -16,18 +18,16 @@ _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def convert(raw):
-    rows = raw["benchmarks"]
-    has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
+    # Per benchmark, the repetition with the lowest cpu_time wins.
+    best = {}
+    for r in raw["benchmarks"]:
+        if r.get("run_type") == "aggregate":
+            continue
+        name = r.get("run_name", r["name"])
+        if name not in best or r["cpu_time"] < best[name]["cpu_time"]:
+            best[name] = r
     out = {}
-    for r in rows:
-        if has_aggregates:
-            if r.get("aggregate_name") != "mean":
-                continue
-            name = r["name"].removesuffix("_mean")
-        else:
-            if r.get("run_type") == "aggregate":
-                continue
-            name = r["name"]
+    for name, r in best.items():
         entry = {}
         if "items_per_second" in r:
             entry["items_per_sec"] = r["items_per_second"]

@@ -51,6 +51,9 @@ leg_telemetry() {
   ./build/examples/tfcsim --workload=incast --protocol=tfc --topology=testbed \
       --senders=8 --block_kb=64 --rounds=5 \
       --telemetry-dir="${dir}" --telemetry-interval=500
+  # Decode the binary spill back to JSONL, then validate both (the schema
+  # checker cross-checks converted line count against the spill's records).
+  ./build/examples/tfcsim --convert="${dir}"
   python3 tools/telemetry_schema.py "${dir}"
   # The run must actually contain the series the figures are built from.
   python3 - "${dir}" <<'EOF'

@@ -91,6 +91,16 @@ class InplaceFunction<R(Args...), Capacity> {
     return ops_->invoke(storage_, std::forward<Args>(args)...);
   }
 
+  // Raw dispatch pair — the invoke entry point and the callable storage it
+  // expects — for callers that compile calls into flat tables instead of
+  // paying the ops_-> indirection per call (the telemetry sample plan).
+  // Valid while this object stays alive and unmodified; null when empty.
+  using RawInvokeFn = R (*)(void*, Args&&...);
+  RawInvokeFn raw_invoke() const noexcept {
+    return ops_ != nullptr ? ops_->invoke : nullptr;
+  }
+  void* raw_storage() noexcept { return storage_; }
+
  private:
   struct Ops {
     R (*invoke)(void*, Args&&...);

@@ -7,9 +7,11 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <system_error>
 
 #include "src/sim/audit.h"
@@ -71,13 +73,46 @@ MetricRegistry::Entry& MetricRegistry::Insert(std::string name, MetricKind kind,
     TFC_CHECK_MSG(replace, "duplicate metric name: " << it->first);
     // Re-claim: drop the displaced entry (std::map node stability keeps
     // every other metric pointer valid) and rebuild it fresh.
+    ReleaseId(it->second);
     std::string key = it->first;
     entries_.erase(it);
     it = entries_.try_emplace(std::move(key)).first;
   }
   it->second.kind = kind;
   it->second.owner = owner;
+  AssignId(it->second);
   return it->second;
+}
+
+void MetricRegistry::AssignId(Entry& e) {
+  if (!free_ids_.empty()) {
+    e.id = free_ids_.back();
+    free_ids_.pop_back();
+    by_id_[e.id] = &e;
+  } else {
+    e.id = static_cast<MetricId>(by_id_.size());
+    by_id_.push_back(&e);
+  }
+  ++generation_;
+}
+
+void MetricRegistry::ReleaseId(Entry& e) {
+  if (e.id != kInvalidMetricId) {
+    by_id_[e.id] = nullptr;
+    free_ids_.push_back(e.id);
+    e.id = kInvalidMetricId;
+  }
+  ++generation_;
+}
+
+MetricId MetricRegistry::IdOf(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() ? it->second.id : kInvalidMetricId;
+}
+
+MetricKind MetricRegistry::KindOfId(MetricId id) const {
+  TFC_CHECK(id < by_id_.size() && by_id_[id] != nullptr);
+  return by_id_[id]->kind;
 }
 
 Counter* MetricRegistry::AddCounter(std::string name) {
@@ -102,11 +137,18 @@ Histogram* MetricRegistry::AddHistogram(std::string name) {
   return e.hist;
 }
 
-void MetricRegistry::Unregister(const std::string& name) { entries_.erase(name); }
+void MetricRegistry::Unregister(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    ReleaseId(it->second);
+    entries_.erase(it);
+  }
+}
 
 void MetricRegistry::UnregisterOwned(const std::string& name, uint64_t token) {
   auto it = entries_.find(name);
   if (it != entries_.end() && it->second.owner == token) {
+    ReleaseId(it->second);
     entries_.erase(it);
   }
 }
@@ -139,6 +181,14 @@ const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
     return nullptr;
   }
   return it->second.hist;
+}
+
+const Histogram* MetricRegistry::FindHistogram(MetricId id) const {
+  if (id >= by_id_.size() || by_id_[id] == nullptr ||
+      by_id_[id]->kind != MetricKind::kHistogram) {
+    return nullptr;
+  }
+  return by_id_[id]->hist;
 }
 
 void MetricRegistry::AuditInvariants(Auditor& audit) {
@@ -202,10 +252,20 @@ void ScopedMetrics::Clear() {
 // TimeSeriesRecorder
 // ---------------------------------------------------------------------------
 
-void TimeSeriesRecorder::Watch(std::string name) { watches_.push_back(std::move(name)); }
+void TimeSeriesRecorder::Watch(std::string name) {
+  if (std::find(watches_.begin(), watches_.end(), name) != watches_.end()) {
+    return;  // one watch, one sample per tick
+  }
+  watches_.push_back(std::move(name));
+  plan_generation_ = 0;
+}
 
 void TimeSeriesRecorder::WatchPrefix(std::string prefix) {
+  if (std::find(prefixes_.begin(), prefixes_.end(), prefix) != prefixes_.end()) {
+    return;
+  }
   prefixes_.push_back(std::move(prefix));
+  plan_generation_ = 0;
 }
 
 void TimeSeriesRecorder::Start(TimeNs period, TimeNs first_delay) {
@@ -214,6 +274,12 @@ void TimeSeriesRecorder::Start(TimeNs period, TimeNs first_delay) {
   Stop();
   period_ = period;
   running_ = true;
+  if (max_samples_ == 0 && log_v_cap_ == 0) {
+    // One large reservation up front: growing the value log by doubling
+    // measurably dominates recording cost (allocator churn + copy), and
+    // reserved-but-untouched pages are free.
+    GrowLogV(1u << 19);
+  }
   tick_event_ = scheduler_->ScheduleDaemonAfter(first_delay, [this] { Tick(); });
 }
 
@@ -226,52 +292,205 @@ void TimeSeriesRecorder::Stop() {
   tick_event_ = Scheduler::EventId{};
 }
 
+// Cold path, runs only when the registry generation moved (or on the first
+// tick): resolves watches and prefixes to (id, ring) pairs in the exact
+// order the pre-plan Tick sampled them — exact watches in insertion order,
+// then prefix matches in registry name order minus the exact names — so
+// stateful callback gauges see an identical read sequence.
+void TimeSeriesRecorder::RebuildPlan() {
+  ++plan_rebuilds_;
+  plan_.clear();
+  plan_reads_.clear();
+  for (const std::string& name : watches_) {
+    const MetricId id = registry_->IdOf(name);
+    if (id == kInvalidMetricId ||
+        registry_->KindOfId(id) == MetricKind::kHistogram) {
+      // A watched metric that has disappeared (component destroyed mid-run)
+      // silently stops extending its series; distributions export via
+      // summary.json, not as series.
+      continue;
+    }
+    AddPlanEntry(name, id);
+  }
+  if (!prefixes_.empty()) {
+    registry_->ForEachMetric(
+        [this](const std::string& name, MetricKind kind, MetricId id) {
+          if (kind == MetricKind::kHistogram) {
+            return;
+          }
+          bool matched = false;
+          for (const std::string& p : prefixes_) {
+            if (name.compare(0, p.size(), p) == 0) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched ||
+              std::find(watches_.begin(), watches_.end(), name) != watches_.end()) {
+            return;  // not watched, or already planned via the exact-name list
+          }
+          AddPlanEntry(name, id);
+        });
+  }
+  plan_generation_ = registry_->generation();
+  epoch_dirty_ = true;
+}
+
+void TimeSeriesRecorder::AddPlanEntry(const std::string& name, MetricId id) {
+  Ring& ring = series_[name];
+  if (max_samples_ > 0) {
+    // Preallocate to the cap so the tick-path append never reallocates.
+    ring.samples.reserve(max_samples_);
+  }
+  MetricRegistry::CompiledRead read;
+  if (!registry_->CompileReadId(id, &read)) {
+    // Defensive (the callers exclude histograms and dead ids): the series
+    // exists but never extends, exactly as an unreadable metric behaved.
+    return;
+  }
+  // Series ids persist for the recorder's lifetime (sid_by_name_ never
+  // shrinks), so flat-log records written under older plans stay valid.
+  auto [it, inserted] =
+      sid_by_name_.try_emplace(name, static_cast<uint32_t>(rings_by_sid_.size()));
+  if (inserted) {
+    rings_by_sid_.push_back(&ring);
+  }
+  plan_.push_back(PlanEntry{read, it->second, &ring});
+  plan_reads_.push_back(read);
+}
+
 void TimeSeriesRecorder::Tick() {
   if (!running_) {
     return;
   }
   ++ticks_;
-  const TimeNs t = scheduler_->now();
-  double v = 0.0;
-  for (const std::string& name : watches_) {
-    // A watched metric that has disappeared (component destroyed mid-run)
-    // silently stops extending its series.
-    if (registry_->Read(name, &v)) {
-      Append(name, t, v);
-    }
+  if (replan_every_tick_ || plan_generation_ != registry_->generation()) {
+    RebuildPlan();
   }
-  if (!prefixes_.empty()) {
-    registry_->ForEachName([&](const std::string& name, MetricKind kind) {
-      if (kind == MetricKind::kHistogram) {
-        return;  // distributions export via summary.json, not as series
+  const TimeNs t = scheduler_->now();
+  if (max_samples_ > 0) {
+    for (const PlanEntry& pe : plan_) {
+      AppendTo(*pe.ring, t, pe.read.fn(pe.read.obj));
+    }
+  } else {
+    // Uncapped: append values to one contiguous stream instead of hundreds
+    // of scattered ring tails; readers demux lazily (MaterializeLog). The
+    // sid each value belongs to is implied by its plan position — the sid
+    // order is snapshotted once per plan epoch — so the per-sample record
+    // on the hot path is just the 8-byte value.
+    if (epoch_dirty_) {
+      LogEpoch epoch;
+      epoch.sids.reserve(plan_.size());
+      for (const PlanEntry& pe : plan_) {
+        epoch.sids.push_back(pe.sid);
       }
-      bool matched = false;
-      for (const std::string& p : prefixes_) {
-        if (name.compare(0, p.size(), p) == 0) {
-          matched = true;
-          break;
-        }
-      }
-      if (!matched ||
-          std::find(watches_.begin(), watches_.end(), name) != watches_.end()) {
-        return;  // not watched, or already sampled via the exact-name list
-      }
-      if (registry_->Read(name, &v)) {
-        Append(name, t, v);
-      }
-    });
+      log_epochs_.push_back(std::move(epoch));
+      epoch_dirty_ = false;
+    }
+    // Write through a raw cursor: reads can run arbitrary callback-gauge
+    // code, so everything the loop needs lives in locals the compiler can
+    // keep in registers instead of vector internals it must reload.
+    const size_t n = plan_.size();
+    if (log_v_cap_ - log_v_size_ < n) {
+      GrowLogV(n);
+    }
+    double* out = log_v_.get() + log_v_size_;
+    const MetricRegistry::CompiledRead* reads = plan_reads_.data();
+    for (size_t pos = 0; pos < n; ++pos) {
+      out[pos] = reads[pos].fn(reads[pos].obj);
+    }
+    log_v_size_ += n;
+    log_t_.push_back(t);
+    ++log_epochs_.back().ticks;
   }
   tick_event_ = scheduler_->ScheduleDaemonAfter(period_, [this] { Tick(); });
 }
 
-void TimeSeriesRecorder::Append(const std::string& name, TimeNs t, double v) {
-  Ring& ring = series_[name];
+void TimeSeriesRecorder::MaterializeLog() const {
+  if (log_t_.empty()) {
+    return;
+  }
+  // Per-series sample counts fall out of the epoch snapshots (ticks x
+  // planned sids) without scanning the value stream; each ring then grows
+  // exactly once, and a raw write cursor per sid replaces push_back so the
+  // single demux pass never touches the scattered vector headers.
+  std::vector<size_t> counts(rings_by_sid_.size(), 0);
+  for (const LogEpoch& e : log_epochs_) {
+    for (uint32_t sid : e.sids) {
+      counts[sid] += e.ticks;
+    }
+  }
+  std::vector<Sample*> cur(rings_by_sid_.size(), nullptr);
+  for (size_t sid = 0; sid < counts.size(); ++sid) {
+    if (counts[sid] > 0) {
+      std::vector<Sample>& samples = rings_by_sid_[sid]->samples;
+      const size_t old = samples.size();
+      samples.resize(old + counts[sid]);
+      cur[sid] = samples.data() + old;
+    }
+  }
+  // The log is tick-major but the rings want series-major, so the demux is
+  // a transpose. Do it in tiles of kTileTicks ticks with a series-major
+  // inner loop: each series receives its tile chunk as one sequential
+  // burst (long store runs amortize cache-line and page costs), while the
+  // tile's value rows are small enough to stay cache-resident across the
+  // per-series strided reads. Ticks are chronological, so tile after tile
+  // keeps every series oldest-first.
+  constexpr size_t kTileTicks = 64;
+  Sample** const curp = cur.data();
+  const double* v = log_v_.get();
+  const TimeNs* tt = log_t_.data();
+  for (const LogEpoch& e : log_epochs_) {
+    const uint32_t* const sids = e.sids.data();
+    const size_t width = e.sids.size();
+    for (uint64_t done = 0; done < e.ticks; done += kTileTicks) {
+      const size_t tile =
+          static_cast<size_t>(std::min<uint64_t>(kTileTicks, e.ticks - done));
+      for (size_t pos = 0; pos < width; ++pos) {
+        Sample* s = curp[sids[pos]];
+        const double* vp = v + pos;
+        for (size_t k = 0; k < tile; ++k, vp += width) {
+          s[k] = Sample{tt[k], *vp};
+        }
+        curp[sids[pos]] = s + tile;
+      }
+      v += tile * width;
+      tt += tile;
+    }
+  }
+  log_v_size_ = 0;  // capacity is kept; the next run reuses the buffer
+  log_t_.clear();
+  log_epochs_.clear();
+  epoch_dirty_ = true;  // the next tick must re-snapshot its sid order
+}
+
+void TimeSeriesRecorder::GrowLogV(size_t need) const {
+  const size_t want = log_v_size_ + need;
+  size_t cap = log_v_cap_ < 4096 ? 4096 : log_v_cap_;
+  while (cap < want) {
+    cap *= 2;
+  }
+  // new double[cap] (not make_unique) keeps the slack default-initialized
+  // instead of zero-filling memory the ticks will overwrite anyway.
+  std::unique_ptr<double[]> buf(new double[cap]);
+  if (log_v_size_ > 0) {
+    std::memcpy(buf.get(), log_v_.get(), log_v_size_ * sizeof(double));
+  }
+  log_v_ = std::move(buf);
+  log_v_cap_ = cap;
+}
+
+void TimeSeriesRecorder::AppendTo(Ring& ring, TimeNs t, double v) {
   if (max_samples_ == 0 || ring.samples.size() < max_samples_) {
+    // Capped rings are reserve()d at plan build, so this push_back never
+    // grows on the capped path.
     ring.samples.push_back(Sample{t, v});
     return;
   }
   ring.samples[ring.head] = Sample{t, v};
-  ring.head = (ring.head + 1) % max_samples_;
+  if (++ring.head == ring.samples.size()) {
+    ring.head = 0;  // compare-and-reset; no modulo on the tick path
+  }
   ring.wrapped = true;
   ++dropped_;
 }
@@ -290,6 +509,7 @@ std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::Unroll(const Ring& r
 
 std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::Series(
     const std::string& name) const {
+  MaterializeLog();
   auto it = series_.find(name);
   if (it == series_.end()) {
     return {};
@@ -298,12 +518,22 @@ std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::Series(
 }
 
 std::vector<std::string> TimeSeriesRecorder::SeriesNames() const {
+  MaterializeLog();
   std::vector<std::string> names;
   names.reserve(series_.size());
   for (const auto& [name, ring] : series_) {
     names.push_back(name);
   }
   return names;
+}
+
+size_t TimeSeriesRecorder::total_samples() const {
+  MaterializeLog();
+  size_t n = 0;
+  for (const auto& [name, ring] : series_) {
+    n += ring.samples.size();
+  }
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -365,6 +595,197 @@ namespace {
 std::string Quoted(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Binary spill (metrics.tfcb)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Fixed little-endian packing, independent of host byte order.
+void PutU32(std::vector<unsigned char>& buf, uint32_t v) {
+  buf.push_back(static_cast<unsigned char>(v));
+  buf.push_back(static_cast<unsigned char>(v >> 8));
+  buf.push_back(static_cast<unsigned char>(v >> 16));
+  buf.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+void PutU64(std::vector<unsigned char>& buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+bool GetU32(const std::string& d, size_t& off, uint32_t* out) {
+  if (off + 4 > d.size()) {
+    return false;
+  }
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(d[off + static_cast<size_t>(i)]);
+  }
+  *out = v;
+  off += 4;
+  return true;
+}
+
+bool GetU64(const std::string& d, size_t& off, uint64_t* out) {
+  if (off + 8 > d.size()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(d[off + static_cast<size_t>(i)]);
+  }
+  *out = v;
+  off += 8;
+  return true;
+}
+
+}  // namespace
+
+bool SpillWriter::Open(const std::string& path, uint32_t series_count,
+                       uint64_t record_count) {
+  Close();
+  ok_ = true;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    ok_ = false;
+    return false;
+  }
+  buf_.clear();
+  for (const char c : kTfcbMagic) {
+    buf_.push_back(static_cast<unsigned char>(c));
+  }
+  PutU32(buf_, kTfcbVersion);
+  PutU32(buf_, series_count);
+  PutU64(buf_, record_count);
+  return true;
+}
+
+void SpillWriter::AppendName(const std::string& name) {
+  if (buf_.size() + 4 + name.size() > kBufferBytes) {
+    Flush();
+  }
+  PutU32(buf_, static_cast<uint32_t>(name.size()));
+  buf_.insert(buf_.end(), name.begin(), name.end());
+}
+
+void SpillWriter::AppendRecord(uint32_t series_id, TimeNs t_ns, double v) {
+  if (buf_.size() + kRecordBytes > kBufferBytes) {
+    Flush();
+  }
+  PutU32(buf_, series_id);
+  PutU64(buf_, static_cast<uint64_t>(t_ns));
+  PutU64(buf_, std::bit_cast<uint64_t>(v));
+}
+
+void SpillWriter::Flush() {
+  if (file_ != nullptr && !buf_.empty()) {
+    if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size()) {
+      ok_ = false;
+    }
+  }
+  buf_.clear();
+}
+
+bool SpillWriter::Close() {
+  if (file_ == nullptr) {
+    return ok_;
+  }
+  Flush();
+  if (std::fclose(file_) != 0) {
+    ok_ = false;
+  }
+  file_ = nullptr;
+  return ok_;
+}
+
+bool ConvertMetricsTfcbToJsonl(const std::string& tfcb_path,
+                               const std::string& jsonl_path,
+                               std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  std::ifstream in(tfcb_path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + tfcb_path;
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  size_t off = 0;
+  if (data.size() < 20 ||
+      data.compare(0, sizeof kTfcbMagic, kTfcbMagic, sizeof kTfcbMagic) != 0) {
+    *error = tfcb_path + ": not a TFCB file (bad magic)";
+    return false;
+  }
+  off = sizeof kTfcbMagic;
+  uint32_t version = 0;
+  uint32_t series_count = 0;
+  uint64_t record_count = 0;
+  GetU32(data, off, &version);
+  GetU32(data, off, &series_count);
+  GetU64(data, off, &record_count);
+  if (version != kTfcbVersion) {
+    *error = tfcb_path + ": unsupported TFCB version " + std::to_string(version);
+    return false;
+  }
+
+  // Name table; a name's position is its series_id. Pre-quote once so the
+  // record loop only concatenates.
+  std::vector<std::string> quoted_names;
+  quoted_names.reserve(series_count);
+  for (uint32_t i = 0; i < series_count; ++i) {
+    uint32_t len = 0;
+    if (!GetU32(data, off, &len) || off + len > data.size()) {
+      *error = tfcb_path + ": truncated name table";
+      return false;
+    }
+    quoted_names.push_back(Quoted(data.substr(off, len)));
+    off += len;
+  }
+
+  if (data.size() - off != record_count * SpillWriter::kRecordBytes) {
+    *error = tfcb_path + ": record section is " +
+             std::to_string(data.size() - off) + " bytes, header promises " +
+             std::to_string(record_count * SpillWriter::kRecordBytes);
+    return false;
+  }
+
+  std::ofstream out(jsonl_path, std::ios::trunc);
+  if (!out) {
+    *error = "cannot open " + jsonl_path;
+    return false;
+  }
+  for (uint64_t i = 0; i < record_count; ++i) {
+    uint32_t series_id = 0;
+    uint64_t t_bits = 0;
+    uint64_t v_bits = 0;
+    GetU32(data, off, &series_id);
+    GetU64(data, off, &t_bits);
+    GetU64(data, off, &v_bits);
+    if (series_id >= series_count) {
+      *error = tfcb_path + ": record " + std::to_string(i) +
+               " names out-of-range series " + std::to_string(series_id);
+      return false;
+    }
+    // Byte-compatible with the legacy exporter line:
+    //   {"t_ns": T, "name": "...", "v": V}
+    out << "{\"t_ns\": " << static_cast<int64_t>(t_bits)
+        << ", \"name\": " << quoted_names[series_id]
+        << ", \"v\": " << JsonNumber(std::bit_cast<double>(v_bits)) << "}\n";
+  }
+  out.flush();
+  if (!out) {
+    *error = "write failed: " + jsonl_path;
+    return false;
+  }
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // RunManifest
@@ -457,7 +878,9 @@ bool WriteManifest(const std::string& path, const RunManifest& manifest,
     std::strftime(utc, sizeof utc, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
   }
   f << "{\n";
-  f << "  \"schema_version\": 1,\n";
+  // v2: metrics.tfcb (binary spill) replaced metrics.jsonl as the recorded
+  // format; everything else is unchanged.
+  f << "  \"schema_version\": 2,\n";
   f << "  \"git_describe\": " << Quoted(GitDescribe()) << ",\n";
   f << "  \"created_unix\": " << static_cast<int64_t>(now) << ",\n";
   f << "  \"created_utc\": " << Quoted(utc) << ",\n";
@@ -476,25 +899,34 @@ bool WriteManifest(const std::string& path, const RunManifest& manifest,
   return true;
 }
 
-bool WriteMetricsJsonl(const std::string& path, const TimeSeriesRecorder* recorder,
-                       std::string* error) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) {
+bool WriteMetricsTfcb(const std::string& path, const TimeSeriesRecorder* recorder,
+                      std::string* error) {
+  SpillWriter w;
+  const uint32_t series_count =
+      recorder != nullptr ? static_cast<uint32_t>(recorder->series_count()) : 0;
+  const uint64_t record_count =
+      recorder != nullptr ? recorder->total_samples() : 0;
+  if (!w.Open(path, series_count, record_count)) {
     *error = "cannot open " + path;
     return false;
   }
   if (recorder != nullptr) {
+    // SeriesNames() and ForEachSeries both walk the series map in name
+    // order, so a series' position in the name table is its series_id.
+    for (const std::string& name : recorder->SeriesNames()) {
+      w.AppendName(name);
+    }
+    uint32_t series_id = 0;
     recorder->ForEachSeries(
-        [&f](const std::string& name, const std::vector<TimeSeriesRecorder::Sample>& samples) {
-          const std::string quoted_name = Quoted(name);
+        [&w, &series_id](const std::string&,
+                         const std::vector<TimeSeriesRecorder::Sample>& samples) {
           for (const TimeSeriesRecorder::Sample& s : samples) {
-            f << "{\"t_ns\": " << s.t << ", \"name\": " << quoted_name
-              << ", \"v\": " << JsonNumber(s.v) << "}\n";
+            w.AppendRecord(series_id, s.t, s.v);
           }
+          ++series_id;
         });
   }
-  f.flush();
-  if (!f) {
+  if (!w.Close()) {
     *error = "write failed: " + path;
     return false;
   }
@@ -533,7 +965,7 @@ bool WriteSummary(const std::string& path, MetricRegistry& metrics,
     *error = "cannot open " + path;
     return false;
   }
-  f << "{\n  \"schema_version\": 1,\n";
+  f << "{\n  \"schema_version\": 2,\n";
 
   f << "  \"counters\": {";
   bool first = true;
@@ -610,7 +1042,7 @@ bool WriteRunDirectory(const std::string& dir, const RunManifest& manifest,
     return false;
   }
   return WriteManifest(dir + "/manifest.json", manifest, error) &&
-         WriteMetricsJsonl(dir + "/metrics.jsonl", recorder, error) &&
+         WriteMetricsTfcb(dir + "/metrics.tfcb", recorder, error) &&
          WriteSummary(dir + "/summary.json", metrics, profiler, error);
 }
 

@@ -13,19 +13,28 @@
 //                    gauges invert the flow: components expose an existing
 //                    member (queue_bytes_, token_bytes_) through a pull
 //                    function, so instrumented hot paths pay nothing at all
-//                    until somebody actually samples.
+//                    until somebody actually samples. Registration also
+//                    interns a dense MetricId: sampling loops read through
+//                    the id (flat-vector index), never the name.
 //
 //   TimeSeriesRecorder  samples watched metrics on a fixed cadence into
-//                    append/ring buffers. Ticks are *daemon* events
+//                    append/ring buffers through a *compiled sample plan*:
+//                    watch names and prefixes resolve to (MetricId, Ring*)
+//                    pairs once, re-resolved only when the registry
+//                    generation changes, so a tick touches no strings and
+//                    no maps. Ticks are *daemon* events
 //                    (Scheduler::ScheduleDaemonAfter), so an attached
 //                    recorder never keeps Run() alive and never perturbs
 //                    "no leaked timers" pending() assertions.
 //
 //   Run exporter     writes a per-run directory: manifest.json (what ran),
-//                    metrics.jsonl (the recorded series), summary.json
-//                    (final snapshot of every metric + profiler sites).
-//                    Formats are documented in docs/observability.md and
-//                    validated by tools/telemetry_schema.py in CI.
+//                    metrics.tfcb (the recorded series, binary spill
+//                    format), summary.json (final snapshot of every metric
+//                    + profiler sites). ConvertMetricsTfcbToJsonl (exposed
+//                    as `tfcsim --convert`) renders the spill back to the
+//                    PR-3 metrics.jsonl byte-compatibly. Formats are
+//                    documented in docs/observability.md and validated by
+//                    tools/telemetry_schema.py in CI.
 //
 // The registry lives on the Network (Network::metrics()) next to the audit
 // registry; components self-register their gauges at construction and
@@ -38,7 +47,9 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -156,6 +167,16 @@ enum class MetricKind : uint8_t {
 
 const char* MetricKindName(MetricKind kind);
 
+// Dense interned handle for a registered metric: an index into the
+// registry's flat id table, assigned at registration. Id-indexed reads are
+// the sampling hot path — one bounds check, one vector index, one kind
+// switch; no string, no map. An id freed by Unregister may be reused by a
+// later registration, and every register/unregister bumps the registry
+// generation, so consumers caching ids (the recorder's sample plan)
+// re-resolve exactly when the mapping can have changed.
+using MetricId = uint32_t;
+inline constexpr MetricId kInvalidMetricId = ~static_cast<MetricId>(0);
+
 // Registry of named metrics. Registration and lookup are cold-path (map by
 // name); the returned pointers are stable for the metric's lifetime, so hot
 // paths touch only the metric object. Duplicate names abort (TFC_CHECK):
@@ -190,6 +211,76 @@ class MetricRegistry {
   // absent names return false). Non-const: callback gauges may be stateful.
   bool Read(const std::string& name, double* out);
 
+  // Id-indexed Read: the sampling hot path. Freed slots, out-of-range ids,
+  // and histograms return false. Ids stay valid while generation() is
+  // unchanged.
+  bool ReadId(MetricId id, double* out) {
+    if (id >= by_id_.size() || by_id_[id] == nullptr) {
+      return false;
+    }
+    Entry& e = *by_id_[id];
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        *out = static_cast<double>(e.counter.value());
+        return true;
+      case MetricKind::kGauge:
+        *out = e.gauge.value();
+        return true;
+      case MetricKind::kCallbackGauge:
+        *out = e.fn();
+        return true;
+      case MetricKind::kHistogram:
+        return false;
+    }
+    return false;
+  }
+
+  // A read compiled all the way down: one indirect call through `fn(obj)`
+  // with the kind dispatch resolved at compile-the-plan time instead of per
+  // sample. Valid under the same contract as ids — until generation()
+  // changes.
+  struct CompiledRead {
+    double (*fn)(void*);
+    void* obj;
+  };
+
+  // Compiles a live counter/gauge/callback id to a direct read. Histograms,
+  // freed slots, and empty callbacks return false (cold path).
+  bool CompileReadId(MetricId id, CompiledRead* out) {
+    if (id >= by_id_.size() || by_id_[id] == nullptr) {
+      return false;
+    }
+    Entry& e = *by_id_[id];
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out->fn = [](void* p) {
+          return static_cast<double>(static_cast<Counter*>(p)->value());
+        };
+        out->obj = &e.counter;
+        return true;
+      case MetricKind::kGauge:
+        out->fn = [](void* p) { return static_cast<Gauge*>(p)->value(); };
+        out->obj = &e.gauge;
+        return true;
+      case MetricKind::kCallbackGauge:
+        out->fn = e.fn.raw_invoke();
+        out->obj = e.fn.raw_storage();
+        return out->fn != nullptr;
+      case MetricKind::kHistogram:
+        return false;
+    }
+    return false;
+  }
+
+  // Resolves a name to its interned id (cold path; kInvalidMetricId when
+  // absent), and the kind of a live id (precondition: id is live).
+  MetricId IdOf(const std::string& name) const;
+  MetricKind KindOfId(MetricId id) const;
+
+  // Bumped on every register and unregister. Consumers holding resolved ids
+  // (the recorder's compiled sample plan) re-resolve when this changes.
+  uint64_t generation() const { return generation_; }
+
   // Visits every metric in name order: fn(name, kind). Use Read /
   // FindHistogram to pull values; name order makes exports deterministic.
   template <typename Fn>
@@ -199,7 +290,17 @@ class MetricRegistry {
     }
   }
 
+  // Like ForEachName but also hands out the interned id: fn(name, kind, id).
+  // Plan builders use this to resolve prefix watches in one ordered pass.
+  template <typename Fn>
+  void ForEachMetric(Fn&& fn) const {
+    for (const auto& [name, entry] : entries_) {
+      fn(name, entry.kind, entry.id);
+    }
+  }
+
   const Histogram* FindHistogram(const std::string& name) const;
+  const Histogram* FindHistogram(MetricId id) const;
 
   // Runtime-auditor hook: every counter must be monotone between audit
   // passes (a shrinking counter means double-release or reset-in-flight).
@@ -216,6 +317,7 @@ class MetricRegistry {
     Histogram* hist = nullptr;  // kHistogram (owned; ~8 KB, heap-allocated)
     uint64_t last_audited = 0;  // monotonicity watermark for counters
     uint64_t owner = 0;         // ScopedMetrics token; 0 = direct registration
+    MetricId id = kInvalidMetricId;  // dense slot in by_id_
     ~Entry();
     Entry() : kind(MetricKind::kCounter) {}
     Entry(Entry&&) = delete;
@@ -225,11 +327,20 @@ class MetricRegistry {
   // instead of aborting; only ScopedMetrics exposes it.
   Entry& Insert(std::string name, MetricKind kind, uint64_t owner, bool replace);
 
+  // Id bookkeeping: both bump generation_ so cached plans re-resolve.
+  void AssignId(Entry& e);
+  void ReleaseId(Entry& e);
+
   uint64_t NewOwnerToken() { return next_owner_token_++; }
 
   // std::map: stable node addresses (metric pointers survive unrelated
   // inserts/erases) and deterministic name-ordered iteration for exports.
   std::map<std::string, Entry> entries_;
+  // Dense id -> entry; nullptr marks a freed slot awaiting reuse. Entry
+  // addresses are map-node stable, so these pointers survive churn.
+  std::vector<Entry*> by_id_;
+  std::vector<MetricId> free_ids_;
+  uint64_t generation_ = 1;  // starts above the recorder's "no plan" zero
   uint64_t next_owner_token_ = 1;
 };
 
@@ -281,9 +392,20 @@ class ScopedMetrics {
 // any event but do not keep drain-mode Run() alive and are excluded from
 // pending(). A watched metric that disappears (its component unregistered)
 // simply stops extending its series.
+//
+// Ticks run off a compiled sample plan: watches and prefixes resolve once
+// to (MetricId, Ring*) pairs, re-resolved only when the registry
+// generation changes, so the per-tick cost is an id-indexed read plus a
+// ring append per watched metric — no string compares, no map lookups.
 class TimeSeriesRecorder {
  public:
   struct Sample {
+    // The user-provided (empty) default constructor leaves members
+    // uninitialized on purpose: MaterializeLog resize()s rings and then
+    // overwrites every slot, and value-initialization would memset
+    // megabytes only to throw the zeros away.
+    Sample() {}
+    Sample(TimeNs t_, double v_) : t(t_), v(v_) {}
     TimeNs t;
     double v;
   };
@@ -294,16 +416,26 @@ class TimeSeriesRecorder {
   TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
   ~TimeSeriesRecorder() { Stop(); }
 
-  // Watch one metric by exact name, or every current and future metric
-  // whose name starts with `prefix` (prefixes are re-expanded on every
-  // tick, so metrics registered after Start() are picked up).
+  // Watch one metric by exact name (duplicates are ignored: one watch, one
+  // sample per tick), or every current and future metric whose name starts
+  // with `prefix` (the plan re-expands when the registry changes, so
+  // metrics registered after Start() are picked up).
   void Watch(std::string name);
   void WatchPrefix(std::string prefix);
   void WatchAll() { WatchPrefix(""); }
 
   // Ring capacity per series; 0 (default) = unbounded append. When capped,
-  // the newest samples win and dropped_samples() counts the overwritten.
-  void set_max_samples_per_series(size_t n) { max_samples_ = n; }
+  // rings are preallocated at plan build, the newest samples win, and
+  // dropped_samples() counts the overwritten.
+  void set_max_samples_per_series(size_t n) {
+    MaterializeLog();  // drain the flat log before the mode can change
+    max_samples_ = n;
+    plan_generation_ = 0;  // re-plan so rings preallocate to the new cap
+  }
+
+  // Test seam: rebuild the sample plan on every tick instead of only on
+  // generation change — the reference the cached plan is checked against.
+  void set_replan_every_tick_for_test(bool v) { replan_every_tick_ = v; }
 
   // Starts sampling every `period`, first tick after `first_delay`
   // (defaults to 0: an immediate baseline sample). Restart re-paces.
@@ -315,6 +447,16 @@ class TimeSeriesRecorder {
   uint64_t ticks() const { return ticks_; }
   uint64_t dropped_samples() const { return dropped_; }
 
+  // How many times the sample plan was compiled — equals the number of
+  // registry-churn episodes the recorder saw (plus the initial build).
+  // ticks() >> plan_rebuilds() is the signature of a healthy hot path.
+  uint64_t plan_rebuilds() const { return plan_rebuilds_; }
+
+  // Number of distinct recorded series / total live samples across them
+  // (capped rings count their current occupancy, not overwritten history).
+  size_t series_count() const { return series_.size(); }
+  size_t total_samples() const;
+
   // Recorded series for `name`, oldest sample first (empty if never
   // sampled). Materializes ring order; cheap for append-mode series.
   std::vector<Sample> Series(const std::string& name) const;
@@ -325,8 +467,13 @@ class TimeSeriesRecorder {
   // Visits every (name, samples oldest-first) pair in name order.
   template <typename Fn>
   void ForEachSeries(Fn&& fn) const {
+    MaterializeLog();
     for (const auto& [name, buf] : series_) {
-      fn(name, Unroll(buf));
+      if (buf.wrapped) {
+        fn(name, Unroll(buf));
+      } else {
+        fn(name, buf.samples);  // already oldest-first; no rotate, no copy
+      }
     }
   }
 
@@ -337,16 +484,66 @@ class TimeSeriesRecorder {
     bool wrapped = false;
   };
 
+  // Uncapped ticks append to a value-stream log — contiguous cursors
+  // instead of ~N scattered ring tails — and readers demux into the rings
+  // later. A tick stores one timestamp plus its values in plan order; the
+  // sid sequence those values map to is snapshotted once per plan epoch,
+  // so the per-sample record is just the 8-byte double.
+  struct LogEpoch {
+    std::vector<uint32_t> sids;  // plan sid order when the epoch began
+    uint64_t ticks = 0;          // ticks recorded under this epoch
+  };
+
+  // One compiled sample: call `read.fn(read.obj)`, then append — to the
+  // flat log (uncapped; sid implied by plan position via the epoch
+  // snapshot) or straight into `ring` (capped). Rings live in the
+  // node-stable `series_` map, so the pointers survive re-plans, and
+  // compiled reads share the id contract: valid until the registry
+  // generation moves, which forces a rebuild before the next sample.
+  struct PlanEntry {
+    MetricRegistry::CompiledRead read;
+    uint32_t sid;
+    Ring* ring;
+  };
+
   static std::vector<Sample> Unroll(const Ring& ring);
 
   void Tick();
-  void Append(const std::string& name, TimeNs t, double v);
+  void RebuildPlan();
+  void AddPlanEntry(const std::string& name, MetricId id);
+  void AppendTo(Ring& ring, TimeNs t, double v);
+  // Demuxes the flat log into the per-series rings (counted reserve, one
+  // pass); cold path, called by readers and on mode changes. Const because
+  // every accessor needs it; only the log and ring contents move.
+  void MaterializeLog() const;
+  void GrowLogV(size_t need) const;  // ensures capacity for `need` more
 
   Scheduler* scheduler_;
   MetricRegistry* registry_;
   std::vector<std::string> watches_;
   std::vector<std::string> prefixes_;
   std::map<std::string, Ring> series_;
+  std::map<std::string, uint32_t> sid_by_name_;
+  std::vector<Ring*> rings_by_sid_;  // map-node stable targets for demux
+  // Value log, tick-major. A raw buffer instead of std::vector<double>
+  // because resize() value-initializes: the tick path would memset every
+  // slot it is about to overwrite. GrowLogV keeps amortized growth.
+  mutable std::unique_ptr<double[]> log_v_;
+  mutable size_t log_v_size_ = 0;
+  mutable size_t log_v_cap_ = 0;
+  mutable std::vector<TimeNs> log_t_;  // one timestamp per tick
+  mutable std::vector<LogEpoch> log_epochs_;
+  // Plan changed (or the log drained) since the last epoch snapshot.
+  mutable bool epoch_dirty_ = true;
+  std::vector<PlanEntry> plan_;
+  // plan_[i].read duplicated densely (16B vs 32B stride): the uncapped tick
+  // loop streams this array once per tick, so half the stride is half the
+  // cache traffic on the hottest loop in the recorder.
+  std::vector<MetricRegistry::CompiledRead> plan_reads_;
+  uint64_t plan_generation_ = 0;  // registry generation the plan matches;
+                                  // 0 = never built (registry starts at 1)
+  uint64_t plan_rebuilds_ = 0;
+  bool replan_every_tick_ = false;
   TimeNs period_ = 0;
   size_t max_samples_ = 0;
   uint64_t ticks_ = 0;
@@ -356,10 +553,63 @@ class TimeSeriesRecorder {
 };
 
 // ---------------------------------------------------------------------------
-// Run exporter: manifest.json + metrics.jsonl + summary.json per run.
+// Run exporter: manifest.json + metrics.tfcb + summary.json per run.
 // ---------------------------------------------------------------------------
 
 class Profiler;
+
+// metrics.tfcb — compact binary series spill (all fields little-endian):
+//
+//   header   "TFCB" magic, u32 version (=1), u32 series_count,
+//            u64 record_count                              (20 bytes)
+//   names    series_count entries of {u32 len, bytes};
+//            a name's position in the table is its series_id
+//   records  record_count entries of {u32 series_id, u64 t_ns, f64 v},
+//            grouped by series in name-table order, oldest first
+//
+// The converter re-emits the legacy metrics.jsonl byte-compatibly (same
+// shortest-round-trip number formatting as the old exporter).
+inline constexpr char kTfcbMagic[4] = {'T', 'F', 'C', 'B'};
+inline constexpr uint32_t kTfcbVersion = 1;
+
+// Buffered writer for metrics.tfcb. AppendRecord is the hot call: it only
+// memcpy-packs into the buffer; file I/O happens in batched Flush()es.
+class SpillWriter {
+ public:
+  static constexpr size_t kRecordBytes = 4 + 8 + 8;  // series_id, t_ns, v
+  static constexpr size_t kBufferBytes = 256 * 1024;
+
+  SpillWriter() { buf_.reserve(kBufferBytes); }
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+  ~SpillWriter() { Close(); }
+
+  // Opens `path` and writes the header. Returns false on I/O failure.
+  bool Open(const std::string& path, uint32_t series_count,
+            uint64_t record_count);
+  // Appends one name-table entry; call series_count times after Open.
+  void AppendName(const std::string& name);
+  // Hot path: packs one fixed-width record into the batch buffer.
+  void AppendRecord(uint32_t series_id, TimeNs t_ns, double v);
+  // Flushes the buffer and closes the file. Returns false if any write
+  // failed (sticky across the writer's lifetime).
+  bool Close();
+
+ private:
+  void Flush();
+
+  std::FILE* file_ = nullptr;
+  std::vector<unsigned char> buf_;
+  bool ok_ = true;
+};
+
+// Offline converter: decodes `tfcb_path` and writes the legacy JSONL
+// (`{"t_ns": ..., "name": ..., "v": ...}` per line) to `jsonl_path`,
+// byte-compatible with the pre-binary exporter. Returns false and fills
+// *error on decode or I/O failure. Exposed via `tfcsim --convert=RUN_DIR`.
+bool ConvertMetricsTfcbToJsonl(const std::string& tfcb_path,
+                               const std::string& jsonl_path,
+                               std::string* error);
 
 // Ordered key/value description of what ran (workload, protocol, topology,
 // seeds, flags). Values keep their JSON type; the exporter adds
@@ -386,8 +636,8 @@ const std::string& GitDescribe();
 
 // Writes the per-run directory (created if needed):
 //   dir/manifest.json   schema_version, git describe, timestamps, manifest
-//   dir/metrics.jsonl   one {"t_ns","name","v"} object per recorded sample
-//                       (empty file when recorder is null)
+//   dir/metrics.tfcb    binary series spill (header-only when recorder is
+//                       null); convert to JSONL with tfcsim --convert
 //   dir/summary.json    final value of every registry metric, histogram
 //                       percentiles, and profiler sites (profiler may be null)
 // Returns false and fills *error on filesystem failure. Formats are stable

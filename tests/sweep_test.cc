@@ -235,7 +235,7 @@ TEST(SweepTest, EightRunParallelSweepIsBitIdenticalToSerial) {
   // Same bytes on disk, file for file.
   for (int i = 0; i < kRuns; ++i) {
     const std::string run = "run-" + std::to_string(i);
-    for (const char* file : {"metrics.jsonl", "summary.json"}) {
+    for (const char* file : {"metrics.tfcb", "summary.json"}) {
       EXPECT_EQ(ReadFile(base / "serial" / run / file),
                 ReadFile(base / "parallel" / run / file))
           << run << "/" << file;

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -115,6 +117,40 @@ TEST(ScopedMetricsTest, ReplaceOnCollisionHandsOverOwnership) {
 
   second.Reset(nullptr);
   EXPECT_FALSE(registry.Has("shared"));
+}
+
+TEST(MetricRegistryTest, IdIndexedReadsAndGenerationTracking) {
+  MetricRegistry registry;
+  const uint64_t gen0 = registry.generation();
+  Counter* c = registry.AddCounter("c");
+  registry.AddHistogram("h");
+  EXPECT_GT(registry.generation(), gen0);  // registration bumps
+
+  const MetricId c_id = registry.IdOf("c");
+  const MetricId h_id = registry.IdOf("h");
+  ASSERT_NE(c_id, kInvalidMetricId);
+  EXPECT_EQ(registry.IdOf("missing"), kInvalidMetricId);
+  EXPECT_EQ(registry.KindOfId(c_id), MetricKind::kCounter);
+
+  c->Add(42);
+  double v = 0;
+  ASSERT_TRUE(registry.ReadId(c_id, &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  EXPECT_FALSE(registry.ReadId(h_id, &v));  // histograms are not scalars
+  EXPECT_EQ(registry.FindHistogram(h_id), registry.FindHistogram("h"));
+  EXPECT_EQ(registry.FindHistogram(c_id), nullptr);
+
+  // Unregister frees the slot (reads fail) and bumps the generation; a
+  // later registration may reuse the id, which is why consumers re-resolve
+  // on generation change.
+  const uint64_t gen1 = registry.generation();
+  registry.Unregister("c");
+  EXPECT_GT(registry.generation(), gen1);
+  EXPECT_FALSE(registry.ReadId(c_id, &v));
+  registry.AddGauge("g2")->Set(5.0);
+  EXPECT_EQ(registry.IdOf("g2"), c_id);  // freed id reused
+  ASSERT_TRUE(registry.ReadId(c_id, &v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
 }
 
 TEST(MetricRegistryTest, CounterMonotonicityAudit) {
@@ -303,6 +339,83 @@ TEST(TimeSeriesRecorderTest, RingCapKeepsNewestAndCountsDrops) {
   EXPECT_EQ(recorder.dropped_samples(), 6u);
 }
 
+TEST(TimeSeriesRecorderTest, DuplicateWatchRecordsOneSamplePerTick) {
+  Scheduler sched;
+  MetricRegistry registry;
+  registry.AddGauge("g")->Set(1.0);
+
+  TimeSeriesRecorder recorder(&sched, &registry);
+  // Redundant watches of every flavor must still record exactly one sample
+  // per tick (watches_ used to be an un-deduped vector: each duplicate
+  // exact watch appended its own sample).
+  recorder.Watch("g");
+  recorder.Watch("g");
+  recorder.WatchPrefix("g");
+  recorder.WatchPrefix("g");
+  recorder.Start(Microseconds(10));
+  sched.ScheduleAt(Microseconds(21), [] {});
+  sched.Run();
+
+  EXPECT_EQ(recorder.Series("g").size(), 3u);  // t=0,10,20 — one each
+}
+
+TEST(TimeSeriesRecorderTest, CachedPlanMatchesFreshPlanUnderRegistryChurn) {
+  // Two recorders over the same registry: one uses the cached sample plan
+  // (rebuilt only on registry-generation change), the reference rebuilds
+  // from strings on every tick. ScopedMetrics churn — a component destroyed
+  // and replaced mid-run — must leave their series identical.
+  Scheduler sched;
+  MetricRegistry registry;
+  registry.AddGauge("app.stable")->Set(1.0);
+
+  auto churn = std::make_unique<ScopedMetrics>(&registry);
+  churn->AddGauge("churn.q")->Set(10.0);
+
+  TimeSeriesRecorder cached(&sched, &registry);
+  TimeSeriesRecorder fresh(&sched, &registry);
+  fresh.set_replan_every_tick_for_test(true);
+  for (TimeSeriesRecorder* r : {&cached, &fresh}) {
+    r->Watch("churn.q");
+    r->WatchPrefix("app.");
+    r->Start(Microseconds(10));
+  }
+
+  sched.ScheduleAt(Microseconds(15), [&churn] {
+    churn.reset();  // component dies: churn.q and its id disappear
+  });
+  sched.ScheduleAt(Microseconds(35), [&churn, &registry] {
+    // Replacement component re-registers the same name (new id) plus a new
+    // prefix-matched metric the next plan must pick up.
+    churn = std::make_unique<ScopedMetrics>(&registry);
+    churn->AddGauge("churn.q")->Set(20.0);
+    churn->AddGauge("app.late")->Set(2.0);
+  });
+  sched.ScheduleAt(Microseconds(51), [] {});
+  sched.Run();
+
+  // Ticks at 0,10,20,30,40,50: churn.q recorded at 0,10 (v=10) and 40,50
+  // (v=20); app.late at 40,50; app.stable at every tick.
+  std::vector<TimeSeriesRecorder::Sample> q = cached.Series("churn.q");
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[1].t, Microseconds(10));
+  EXPECT_DOUBLE_EQ(q[1].v, 10.0);
+  EXPECT_EQ(q[2].t, Microseconds(40));
+  EXPECT_DOUBLE_EQ(q[2].v, 20.0);
+  EXPECT_EQ(cached.Series("app.late").size(), 2u);
+  EXPECT_EQ(cached.Series("app.stable").size(), 6u);
+
+  ASSERT_EQ(cached.SeriesNames(), fresh.SeriesNames());
+  for (const std::string& name : cached.SeriesNames()) {
+    std::vector<TimeSeriesRecorder::Sample> a = cached.Series(name);
+    std::vector<TimeSeriesRecorder::Sample> b = fresh.Series(name);
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].t, b[i].t) << name << "[" << i << "]";
+      EXPECT_DOUBLE_EQ(a[i].v, b[i].v) << name << "[" << i << "]";
+    }
+  }
+}
+
 // --- Exporter ---------------------------------------------------------------
 
 std::string Slurp(const std::string& path) {
@@ -359,15 +472,25 @@ TEST(ExporterTest, RunDirectoryGoldenRoundTrip) {
                                 &error))
       << error;
 
-  // metrics.jsonl is fully deterministic: golden-compare it whole.
+  // The binary spill decodes back to the exact bytes the pre-tfcb JSONL
+  // exporter produced: same line format, same number rendering.
+  ASSERT_TRUE(ConvertMetricsTfcbToJsonl(dir + "/metrics.tfcb",
+                                        dir + "/metrics.jsonl", &error))
+      << error;
   EXPECT_EQ(Slurp(dir + "/metrics.jsonl"),
             "{\"t_ns\": 0, \"name\": \"queue\", \"v\": 0}\n"
             "{\"t_ns\": 10000, \"name\": \"queue\", \"v\": 1500}\n");
 
+  // The spill itself: magic + version=1, one series, two records.
+  const std::string tfcb = Slurp(dir + "/metrics.tfcb");
+  ASSERT_GE(tfcb.size(), 20u);
+  EXPECT_EQ(tfcb.substr(0, 4), "TFCB");
+  EXPECT_EQ(tfcb.size(), 20u + (4 + 5) + 2 * SpillWriter::kRecordBytes);
+
   // The manifest carries the verbatim run section (with escaping) plus the
   // exporter's own provenance keys.
   const std::string manifest_text = Slurp(dir + "/manifest.json");
-  EXPECT_NE(manifest_text.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(manifest_text.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(manifest_text.find("\"git_describe\": "), std::string::npos);
   EXPECT_NE(manifest_text.find("\"workload\": \"unit\\\"test\""), std::string::npos);
   EXPECT_NE(manifest_text.find("\"seed\": 7"), std::string::npos);
@@ -385,6 +508,52 @@ TEST(ExporterTest, RunDirectoryGoldenRoundTrip) {
   EXPECT_NE(summary.find("\"test.site\": {\"hits\": 1, \"sim_ns\": 50, "
                          "\"wall_ns\": 0}"),
             std::string::npos);
+}
+
+TEST(ExporterTest, NullRecorderWritesHeaderOnlySpillThatConvertsToEmptyJsonl) {
+  MetricRegistry registry;
+  RunManifest manifest;
+  const std::string dir = testing::TempDir() + "/telemetry_empty";
+  std::string error;
+  ASSERT_TRUE(WriteRunDirectory(dir, manifest, registry, nullptr, nullptr,
+                                &error))
+      << error;
+  EXPECT_EQ(Slurp(dir + "/metrics.tfcb").size(), 20u);  // header, no payload
+  ASSERT_TRUE(ConvertMetricsTfcbToJsonl(dir + "/metrics.tfcb",
+                                        dir + "/metrics.jsonl", &error))
+      << error;
+  EXPECT_EQ(Slurp(dir + "/metrics.jsonl"), "");
+}
+
+TEST(ExporterTest, ConverterRejectsMissingAndCorruptSpills) {
+  const std::string dir = testing::TempDir() + "/telemetry_corrupt";
+  std::string error;
+  EXPECT_FALSE(ConvertMetricsTfcbToJsonl(dir + "/nope.tfcb",
+                                         dir + "/out.jsonl", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream f(dir + "/bad.tfcb", std::ios::binary);
+    f << "JUNKJUNKJUNKJUNKJUNK";  // 20 bytes, wrong magic
+  }
+  EXPECT_FALSE(ConvertMetricsTfcbToJsonl(dir + "/bad.tfcb",
+                                         dir + "/out.jsonl", &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+
+  {
+    // Valid magic/version but the header promises records that are not
+    // there: 1 series, 1 record, then a truncated body.
+    std::ofstream f(dir + "/short.tfcb", std::ios::binary);
+    const unsigned char header[] = {'T', 'F', 'C', 'B', 1, 0, 0, 0,
+                                    1,   0,   0,   0,   1, 0, 0, 0,
+                                    0,   0,   0,   0};
+    f.write(reinterpret_cast<const char*>(header), sizeof header);
+    f << "\x01" << std::string(3, '\0') << "q";  // name table: "q"
+  }
+  EXPECT_FALSE(ConvertMetricsTfcbToJsonl(dir + "/short.tfcb",
+                                         dir + "/out.jsonl", &error));
+  EXPECT_NE(error.find("record section"), std::string::npos);
 }
 
 TEST(ExporterTest, WriteFailureReportsError) {

@@ -40,6 +40,15 @@ Rules enforced (see docs/correctness.md):
                   — a lock someone forgot to annotate: every Mutex declared
                   in src/ must have at least one TFC_GUARDED_BY /
                   TFC_PT_GUARDED_BY user naming it in the same file.
+  recorder-hot    src/sim/telemetry.cc is hot-io allowlisted as a whole (it
+                  is the exporter), but the recorder's per-tick path must
+                  still stay string- and I/O-free: inside the brace-matched
+                  bodies of TimeSeriesRecorder::Tick, ::AppendTo, and
+                  SpillWriter::AppendRecord there may be no std::map /
+                  unordered_map, no string-keyed lookups (.find/.count/.at/
+                  series_[), and no stream/printf I/O. Cold helpers
+                  (RebuildPlan, SpillWriter::Flush) do the lookups and the
+                  fwrite batching. Suppress with `// lint:allow recorder-hot`.
 
 Exit status: 0 when clean, 1 when any violation is found.
 """
@@ -111,16 +120,76 @@ HOT_IO_RE = re.compile(
     r"|(?<![A-Za-z0-9_:])(printf|fprintf|fputs|fwrite|puts)\s*\("
 )
 
+# recorder-hot: the telemetry sampling/spill hot functions, matched by
+# qualified symbol name in src/sim/telemetry.cc and scanned brace-to-brace.
+RECORDER_HOT_FILE = "src/sim/telemetry.cc"
+RECORDER_HOT_FUNC_RE = re.compile(
+    r"\b(?:TimeSeriesRecorder::(?:Tick|AppendTo)|SpillWriter::AppendRecord)\s*\("
+)
+RECORDER_HOT_BAN_RE = re.compile(
+    r"\bstd::(?:map|unordered_map)\b"
+    r"|\.(?:find|count|at)\s*\("
+    r"|\bseries_\s*\["
+)
+
+
+def recorder_hot_body_lines(text: str) -> list[tuple[int, str]]:
+    """(lineno, line) pairs inside the recorder hot-function bodies."""
+    out = []
+    for m in RECORDER_HOT_FUNC_RE.finditer(text):
+        open_brace = text.find("{", m.end())
+        if open_brace < 0:
+            continue
+        depth = 0
+        end = open_brace
+        for i in range(open_brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        first_line = text.count("\n", 0, open_brace) + 1
+        body = text[open_brace:end]
+        for offset, line in enumerate(body.splitlines()):
+            out.append((first_line + offset, line))
+    return out
+
 
 def allow(line: str, tag: str) -> bool:
     return f"lint:allow {tag}" in line
+
+
+def lint_recorder_hot(text: str, rel: str) -> list[str]:
+    errors = []
+    for lineno, raw in recorder_hot_body_lines(text):
+        code = LINE_COMMENT_RE.sub("", raw)
+        if allow(raw, "recorder-hot"):
+            continue
+        if RECORDER_HOT_BAN_RE.search(code):
+            errors.append(
+                f"{rel}:{lineno}: [recorder-hot] no map/string-keyed lookups "
+                "in the recorder tick / spill append hot path — resolve in "
+                "RebuildPlan / at Open time instead"
+            )
+        if HOT_IO_RE.search(code):
+            errors.append(
+                f"{rel}:{lineno}: [recorder-hot] no stream/printf I/O in the "
+                "recorder tick / spill append hot path — batch into the "
+                "buffer and write in Flush()"
+            )
+    return errors
 
 
 def lint_file(path: Path, rel: str) -> list[str]:
     errors = []
     mutex_decls: list[tuple[int, str]] = []  # (lineno, mutex name)
     guarded_names: set[str] = set()
-    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+    text = path.read_text()
+    if rel == RECORDER_HOT_FILE:
+        errors.extend(lint_recorder_hot(text, rel))
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         m = INCLUDE_RE.match(raw)
         if m and not m.group(1).startswith(ROOT_PREFIXES):
             errors.append(

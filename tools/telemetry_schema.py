@@ -3,25 +3,39 @@
 
 Usage: telemetry_schema.py RUN_DIR [RUN_DIR ...]
 
-Checks the three files the exporter (src/sim/telemetry.cc) writes per run:
+Checks the files the exporter (src/sim/telemetry.cc) writes per run:
 
-  manifest.json   object with schema_version == 1, git_describe,
+  manifest.json   object with schema_version == 2, git_describe,
                   created_unix / created_utc, and a "run" object.
-  metrics.jsonl   one sample object {"t_ns", "name", "v"} per line;
-                  t_ns is a non-negative integer and non-decreasing per
-                  series; v is a number or null (non-finite sample).
-  summary.json    schema_version == 1 plus counters / gauges / histograms /
+  metrics.tfcb    binary series spill: "TFCB" magic, u32 version (=1),
+                  u32 series_count, u64 record_count, interned name table
+                  ({u32 len, bytes} per series), then fixed-width
+                  {u32 series_id, u64 t_ns, f64 v} records (all little-
+                  endian). t_ns must be non-decreasing per series and ids
+                  must stay in range.
+  metrics.jsonl   optional converter output (`tfcsim --convert=RUN_DIR`):
+                  one sample object {"t_ns", "name", "v"} per line; when
+                  present its line count is cross-checked against the
+                  spill's record count.
+  summary.json    schema_version == 2 plus counters / gauges / histograms /
                   profile sections with the shapes documented in
                   docs/observability.md.
+
+At least one of metrics.tfcb / metrics.jsonl must exist.
 
 Exit status: 0 when every directory validates, 1 otherwise.
 """
 
 import json
+import struct
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+TFCB_MAGIC = b"TFCB"
+TFCB_VERSION = 1
+TFCB_HEADER = struct.Struct("<4sIIQ")   # magic, version, series, records
+TFCB_RECORD = struct.Struct("<IQd")     # series_id, t_ns, v
 
 
 class Checker:
@@ -73,6 +87,58 @@ def check_manifest(path: Path, ck: Checker) -> None:
     ck.expect(isinstance(created_utc, str) and created_utc.endswith("Z"),
               where, "created_utc must be an ISO-8601 UTC string ending in Z")
     ck.expect(isinstance(doc.get("run"), dict), where, '"run" must be an object')
+
+
+def check_metrics_tfcb(path: Path, ck: Checker) -> int:
+    """Validates the binary spill; returns its record count (or 0 on error)."""
+    where = str(path)
+    data = path.read_bytes()
+    if len(data) < TFCB_HEADER.size:
+        ck.error(where, f"truncated header ({len(data)} bytes)")
+        return 0
+    magic, version, series_count, record_count = TFCB_HEADER.unpack_from(data)
+    if not ck.expect(magic == TFCB_MAGIC, where, f"bad magic {magic!r}"):
+        return 0
+    if not ck.expect(version == TFCB_VERSION, where,
+                     f"version must be {TFCB_VERSION}, got {version}"):
+        return 0
+    off = TFCB_HEADER.size
+    names = []
+    for i in range(series_count):
+        if off + 4 > len(data):
+            ck.error(where, f"truncated name table at entry {i}")
+            return 0
+        (length,) = struct.unpack_from("<I", data, off)
+        off += 4
+        if off + length > len(data):
+            ck.error(where, f"truncated name table at entry {i}")
+            return 0
+        try:
+            name = data[off:off + length].decode("utf-8")
+        except UnicodeDecodeError:
+            ck.error(where, f"name {i} is not valid UTF-8")
+            name = ""
+        ck.expect(bool(name), where, f"name {i} must be non-empty")
+        names.append(name)
+        off += length
+    body = len(data) - off
+    if not ck.expect(body == record_count * TFCB_RECORD.size, where,
+                     f"record section is {body} bytes, header promises "
+                     f"{record_count * TFCB_RECORD.size}"):
+        return 0
+    last_t = {}  # series_id -> last t_ns
+    for i in range(record_count):
+        series_id, t_ns, _v = TFCB_RECORD.unpack_from(data, off)
+        off += TFCB_RECORD.size
+        if not ck.expect(series_id < series_count, where,
+                         f"record {i} names out-of-range series {series_id}"):
+            return 0
+        prev = last_t.get(series_id)
+        ck.expect(prev is None or t_ns >= prev, where,
+                  f"t_ns went backwards for series {names[series_id]!r}: "
+                  f"{prev} -> {t_ns}")
+        last_t[series_id] = t_ns
+    return record_count
 
 
 def check_metrics_jsonl(path: Path, ck: Checker) -> int:
@@ -170,7 +236,21 @@ def check_summary(path: Path, ck: Checker) -> None:
 
 def check_run_dir(run_dir: Path, ck: Checker) -> int:
     check_manifest(run_dir / "manifest.json", ck)
-    samples = check_metrics_jsonl(run_dir / "metrics.jsonl", ck)
+    tfcb = run_dir / "metrics.tfcb"
+    jsonl = run_dir / "metrics.jsonl"
+    samples = 0
+    if not tfcb.exists() and not jsonl.exists():
+        ck.error(str(run_dir), "neither metrics.tfcb nor metrics.jsonl exists")
+    if tfcb.exists():
+        samples = check_metrics_tfcb(tfcb, ck)
+    if jsonl.exists():
+        jsonl_samples = check_metrics_jsonl(jsonl, ck)
+        if tfcb.exists():
+            ck.expect(jsonl_samples == samples, str(jsonl),
+                      f"{jsonl_samples} converted samples but the spill "
+                      f"records {samples}")
+        else:
+            samples = jsonl_samples
     check_summary(run_dir / "summary.json", ck)
     return samples
 

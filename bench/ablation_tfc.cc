@@ -141,7 +141,7 @@ void AblateEwma(bool quick) {
     RunningStats token;
     net.scheduler().RunUntil(Milliseconds(100));
     agent->on_slot = [&](const TfcPortAgent::SlotInfo& info) {
-      token.Add(info.token_bytes);
+      token.Add(info.token.value());
     };
     uint64_t before = 0;
     for (auto& f : flows) {

@@ -44,7 +44,7 @@ void RunOnce(Protocol protocol, bool quick) {
   for (auto& f : flows) {
     base.push_back(f->delivered_bytes());
   }
-  uint64_t max_queue = 0;
+  Bytes max_queue = 0;
   for (const auto& node : net.nodes()) {
     if (!node->is_host()) {
       for (const auto& port : node->ports()) {

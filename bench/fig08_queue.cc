@@ -22,7 +22,7 @@ namespace {
 
 struct Result {
   tfc::RunningStats queue;
-  uint64_t max_queue = 0;
+  tfc::Bytes max_queue = 0;
   uint64_t drops = 0;
   size_t samples = 0;
 };

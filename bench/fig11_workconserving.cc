@@ -51,12 +51,12 @@ int main(int argc, char** argv) {
   const int steps = quick ? 5 : 20;
   std::printf("%8s %14s %14s %12s %12s\n", "time(s)", "S1-up(Mbps)", "S2-down(Mbps)",
               "q_S1(KB)", "q_S2(KB)");
-  uint64_t last_up = 0;
-  uint64_t last_down = 0;
+  Bytes last_up = 0;
+  Bytes last_down = 0;
   for (int i = 1; i <= steps; ++i) {
     net.scheduler().RunUntil(sample * i);
-    const uint64_t up = s1_up->tx_bytes();
-    const uint64_t down = s2_down->tx_bytes();
+    const Bytes up = s1_up->tx_bytes();
+    const Bytes down = s2_down->tx_bytes();
     std::printf("%8.1f %14.1f %14.1f %12.2f %12.2f\n", ToSeconds(sample * i),
                 static_cast<double>(up - last_up) * 8.0 / ToSeconds(sample) / 1e6,
                 static_cast<double>(down - last_down) * 8.0 / ToSeconds(sample) / 1e6,

@@ -2,7 +2,7 @@
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
 #   ./ci.sh            full matrix: release, asan-ubsan, hardened, tsan, lint,
-#                      tidy, telemetry, chaos
+#                      tidy, units, telemetry, chaos
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -38,6 +38,33 @@ leg_tsan() {
       --sweep=4 --jobs=4 --telemetry-dir=build-tsan/sweep-smoke
 }
 leg_tidy()       { echo "=== [tidy] tools/tidy.sh ==="; bash tools/tidy.sh build; }
+
+# Units leg: the dimension-safety gate (docs/correctness.md "Units").
+# (1) Negative-compile battery — each banned cross-dimension conversion must
+#     be rejected, and the control case must compile (same cases ctest runs
+#     as WILL_FAIL entries, checked here without needing a configured build).
+# (2) The lint.py units rule (raw unit-suffixed declarations).
+# (3) clang-tidy narrowing profile over src/{net,tfc,transport} — skips with
+#     a notice when clang-tidy is absent, like leg_tidy.
+leg_units() {
+  echo "=== [units] negative-compile battery ==="
+  local src=tests/units_compile_fail/compile_fail.cc
+  local cxx="${CXX:-g++}"
+  "${cxx}" -std=c++20 -I. -fsyntax-only "${src}"
+  echo "units: control case compiles"
+  local case
+  for case in BYTES_PLUS_TIME TOKENS_TO_BYTES BYTES_NARROWING; do
+    if "${cxx}" -std=c++20 -I. -fsyntax-only "-DCASE_${case}=1" "${src}" 2>/dev/null; then
+      echo "units: CASE_${case} compiled but must be rejected" >&2
+      return 1
+    fi
+    echo "units: CASE_${case} rejected (expected)"
+  done
+  echo "=== [units] lint units rule ==="
+  python3 tools/lint.py
+  echo "=== [units] clang-tidy narrowing profile ==="
+  bash tools/tidy_units.sh build
+}
 
 # Telemetry-enabled incast smoke on the paper's Fig. 4 testbed topology:
 # runs tfcsim with --telemetry-dir and validates the emitted run directory
@@ -95,6 +122,7 @@ case "${1:-all}" in
   tsan)       leg_tsan ;;
   lint)       leg_lint ;;
   tidy)       leg_tidy ;;
+  units)      leg_units ;;
   telemetry)  leg_telemetry ;;
   chaos)      leg_chaos ;;
   all)
@@ -104,12 +132,13 @@ case "${1:-all}" in
     leg_tsan
     leg_lint
     leg_tidy
+    leg_units
     leg_telemetry
     leg_chaos
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|telemetry|chaos|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|units|telemetry|chaos|all]" >&2
     exit 2
     ;;
 esac

@@ -62,8 +62,8 @@ void RunOnce(tfc::Protocol protocol) {
   Port* uplink = Network::FindPort(s1, s2);
   Port* downlink = Network::FindPort(s2, h3);
   net.scheduler().RunUntil(Milliseconds(200));  // warm up
-  const uint64_t up0 = uplink->tx_bytes();
-  const uint64_t down0 = downlink->tx_bytes();
+  const Bytes up0 = uplink->tx_bytes();
+  const Bytes down0 = downlink->tx_bytes();
   uplink->ResetMaxQueue();
   downlink->ResetMaxQueue();
   net.scheduler().RunUntil(Milliseconds(1200));

@@ -54,12 +54,12 @@ int main() {
     }
     std::printf(" %8d %8.0f %8llu\n", agent->last_effective_flows(),
                 agent->window_bytes(),
-                static_cast<unsigned long long>(bottleneck->queue_bytes()));
+                static_cast<unsigned long long>(bottleneck->queue_bytes().count()));
   }
 
   std::printf("\nbottleneck: drops=%llu max_queue=%llu bytes\n",
               static_cast<unsigned long long>(bottleneck->drops()),
-              static_cast<unsigned long long>(bottleneck->max_queue_bytes()));
+              static_cast<unsigned long long>(bottleneck->max_queue_bytes().count()));
   std::printf("Note how the late joiner converges to the fair share within a "
               "few RTTs\nand the queue stays at a couple of packets.\n");
   return 0;

@@ -73,7 +73,7 @@ int main() {
     std::printf("%10d %8d %12.2f %14.1f %10llu\n", ++phase, active,
                 e_count > 0 ? e_sum / e_count : 0.0,
                 static_cast<double>(total - last_total) * 8.0 / 0.1 / 1e6,
-                static_cast<unsigned long long>(bottleneck->queue_bytes()));
+                static_cast<unsigned long long>(bottleneck->queue_bytes().count()));
     last_total = total;
   }
 

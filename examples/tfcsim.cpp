@@ -131,7 +131,7 @@ struct BuiltTopology {
 
 BuiltTopology Build(Network& net, const Options& opt, const LinkOptions& link_opts) {
   BuiltTopology out;
-  const uint64_t bps = opt.gbps * kGbps;
+  const BitsPerSec bps = opt.gbps * kGbps;
   if (opt.topology == "testbed") {
     TestbedTopology t = BuildTestbed(net, link_opts, bps);
     out.hosts = t.hosts;
@@ -156,7 +156,7 @@ BuiltTopology Build(Network& net, const Options& opt, const LinkOptions& link_op
 
 struct PortTotals {
   uint64_t drops = 0;
-  uint64_t max_queue = 0;
+  Bytes max_queue = 0;
 };
 
 PortTotals SwitchTotals(const Network& net) {
@@ -217,7 +217,7 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
     for (const char* prefix : {"port.", "tfc.", "flow.", "sim.", "pool.", "incast."}) {
       recorder->WatchPrefix(prefix);
     }
-    recorder->Start(Microseconds(static_cast<TimeNs>(opt.telemetry_interval_us)));
+    recorder->Start(Microseconds(static_cast<int64_t>(opt.telemetry_interval_us)));
   }
 
   rep.Printf("--- %s | %s | %s ---\n", suite.name(), opt.workload.c_str(),

@@ -9,7 +9,7 @@ DctcpSender::DctcpSender(Network* network, Host* local, Host* remote, const Dctc
   metrics_.AddCallbackGauge(metric_prefix() + ".alpha", [this] { return alpha_; });
 }
 
-void DctcpSender::OnAckedData(const Packet& ack, uint64_t newly_acked) {
+void DctcpSender::OnAckedData(const Packet& ack, Bytes newly_acked) {
   acked_window_ += newly_acked;
   if (ack.ecn_echo) {
     marked_window_ += newly_acked;
@@ -18,7 +18,7 @@ void DctcpSender::OnAckedData(const Packet& ack, uint64_t newly_acked) {
       const double reduced = cwnd_bytes() * (1.0 - alpha_ / 2.0);
       set_cwnd(reduced);
       set_ssthresh(std::max(reduced, 2.0 * mss()));
-      reduce_end_seq_ = acked_bytes() + inflight_bytes();
+      reduce_end_seq_ = acked_bytes() + static_cast<uint64_t>(inflight_bytes().count());
     }
   } else {
     // Unmarked progress grows the window exactly like TCP.
@@ -28,12 +28,12 @@ void DctcpSender::OnAckedData(const Packet& ack, uint64_t newly_acked) {
   if (acked_bytes() > alpha_update_seq_) {
     const double f =
         acked_window_ > 0
-            ? static_cast<double>(marked_window_) / static_cast<double>(acked_window_)
+            ? static_cast<double>(marked_window_.count()) / static_cast<double>(acked_window_.count())
             : 0.0;
     alpha_ = (1.0 - config_.g) * alpha_ + config_.g * f;
     acked_window_ = 0;
     marked_window_ = 0;
-    alpha_update_seq_ = acked_bytes() + inflight_bytes();
+    alpha_update_seq_ = acked_bytes() + static_cast<uint64_t>(inflight_bytes().count());
   }
 }
 

@@ -33,13 +33,13 @@ class DctcpSender : public TcpSender {
 
  protected:
   bool EcnCapable() const override { return true; }
-  void OnAckedData(const Packet& ack, uint64_t newly_acked) override;
+  void OnAckedData(const Packet& ack, Bytes newly_acked) override;
 
  private:
   DctcpConfig config_;
   double alpha_ = 1.0;  // start conservative, as the Linux implementation does
-  uint64_t acked_window_ = 0;
-  uint64_t marked_window_ = 0;
+  Bytes acked_window_ = 0;
+  Bytes marked_window_ = 0;
   uint64_t alpha_update_seq_ = 0;  // update alpha when snd_una passes this
   uint64_t reduce_end_seq_ = 0;    // at most one reduction per window
 };

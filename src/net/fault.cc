@@ -480,7 +480,7 @@ void FaultInjector::OnWire(Port* port, PacketPtr pkt) {
         port->DeliverToPeer(std::move(copy), 0);
       }
       if (p.reorder_prob > 0 && p.reorder_max_delay > 0 && rng_.Bernoulli(p.reorder_prob)) {
-        extra = rng_.UniformInt(1, p.reorder_max_delay);
+        extra = rng_.UniformInt(1, p.reorder_max_delay.count());
         ++reorders_;
       }
     }

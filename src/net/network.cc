@@ -86,7 +86,7 @@ Switch* Network::AddSwitch(std::string name) {
   return raw;
 }
 
-Port* Network::Link(Node* a, Node* b, uint64_t bps, TimeNs prop_delay,
+Port* Network::Link(Node* a, Node* b, BitsPerSec bps, TimeNs prop_delay,
                     const LinkOptions& opts) {
   Port* pa = a->AddPort();
   Port* pb = b->AddPort();

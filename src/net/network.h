@@ -36,16 +36,16 @@
 
 namespace tfc {
 
-inline constexpr uint64_t kGbps = 1'000'000'000ull;
+inline constexpr BitsPerSec kGbps = 1'000'000'000ull;
 
 struct LinkOptions {
   // Per-port buffer on switch-owned ports (paper testbed: 256 KB/port at
   // 1 Gbps; large-scale simulation: 512 KB at 10 Gbps).
-  uint64_t switch_buffer_bytes = 256 * 1024;
+  Bytes switch_buffer_bytes = 256 * 1024;
   // Host NICs get a deep buffer; they are never the experiment bottleneck.
-  uint64_t host_buffer_bytes = 8 * 1024 * 1024;
+  Bytes host_buffer_bytes = 8 * 1024 * 1024;
   // ECN marking threshold applied to switch-owned ports only (0 = off).
-  uint64_t ecn_threshold_bytes = 0;
+  Bytes ecn_threshold_bytes = 0;
 };
 
 class Network {
@@ -60,7 +60,7 @@ class Network {
 
   // Creates a full-duplex link (two cross-connected ports) between a and b.
   // Returns the port owned by `a`; its peer_port() is owned by `b`.
-  Port* Link(Node* a, Node* b, uint64_t bps, TimeNs prop_delay,
+  Port* Link(Node* a, Node* b, BitsPerSec bps, TimeNs prop_delay,
              const LinkOptions& opts = LinkOptions());
 
   // Computes shortest-path next-hop tables for every switch (BFS per

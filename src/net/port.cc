@@ -12,9 +12,9 @@ namespace tfc {
 Port::Port(Scheduler* scheduler, Node* owner, int index)
     : scheduler_(scheduler), owner_(owner), index_(index) {}
 
-void Port::Connect(Port* peer_port, uint64_t bps, TimeNs prop_delay) {
+void Port::Connect(Port* peer_port, BitsPerSec bps, TimeNs prop_delay) {
   TFC_CHECK_EQ(peer_port_, nullptr);
-  TFC_CHECK_GT(bps, 0u);
+  TFC_CHECK_GT(bps.count(), 0u);
   peer_port_ = peer_port;
   peer_node_ = peer_port->owner();
   bps_ = bps;
@@ -56,9 +56,9 @@ void Port::AuditInvariants(Auditor& audit) const {
   // earlier, larger limit legitimately remain queued after the limit shrinks.
   audit.CheckLe(queue_bytes_, buffer_limit_hi_bytes_, "occupancy<=buffer");
   audit.CheckLe(max_queue_bytes_, buffer_limit_hi_bytes_, "max occupancy<=buffer");
-  uint64_t sum = 0;
+  Bytes sum = 0;
   for (const PacketPtr& p : queue_) {
-    sum += p->frame_bytes();
+    sum += Bytes(p->frame_bytes());
     audit.Check(p->uid != kPoisonUid, "queued packet is live (not freed)");
   }
   audit.CheckEq(queue_bytes_, sum, "queue_bytes==sum(queued frames)");
@@ -67,10 +67,10 @@ void Port::AuditInvariants(Auditor& audit) const {
   audit.Check(queue_.empty() || busy_, "transmitter busy while queue non-empty");
 }
 
-TimeNs Port::SerializationTime(uint32_t wire_bytes) const {
-  // bits * 1e9 / bps, computed in 128-bit to avoid overflow for large frames.
-  const unsigned __int128 bits = static_cast<unsigned __int128>(wire_bytes) * 8;
-  return static_cast<TimeNs>(bits * 1'000'000'000ull / bps_);
+TimeNs Port::SerializationTime(Bytes wire_bytes) const {
+  // Bytes / BitsPerSec -> TimeNs: bits * 1e9 / bps, computed in 128-bit to
+  // avoid overflow for large frames (src/sim/units.h).
+  return wire_bytes / bps_;
 }
 
 void Port::Enqueue(PacketPtr pkt) {
@@ -78,7 +78,7 @@ void Port::Enqueue(PacketPtr pkt) {
   if (agent_ != nullptr) {
     agent_->OnEgress(*pkt);
   }
-  const uint32_t frame = pkt->frame_bytes();
+  const Bytes frame = pkt->frame_bytes();
   if (queue_bytes_ + frame > buffer_limit_bytes_) {
     ++drops_;
     dropped_bytes_ += frame;
@@ -116,12 +116,12 @@ void Port::OnSerialized() {
   TFC_CHECK(busy_ && !queue_.empty());
   PacketPtr pkt = std::move(queue_.front());
   queue_.pop_front();
-  queue_bytes_ -= pkt->frame_bytes();
+  queue_bytes_ -= Bytes(pkt->frame_bytes());
   ++tx_packets_;
-  tx_bytes_ += pkt->frame_bytes();
-  const uint64_t ser_ns = static_cast<uint64_t>(scheduler_->now() - busy_since_);
-  busy_ns_ += ser_ns;
-  serialize_site_->AddSim(static_cast<TimeNs>(ser_ns));
+  tx_bytes_ += Bytes(pkt->frame_bytes());
+  const TimeNs ser = scheduler_->now() - busy_since_;
+  busy_ns_ += ser;
+  serialize_site_->AddSim(ser);
   busy_ = false;
   owner_->network()->EmitTrace(TraceEventType::kTransmit, *pkt, owner_, this);
 

@@ -64,20 +64,20 @@ class Port {
 
   // Wires this port to `peer_port`'s owner over a link with the given rate
   // and one-way propagation delay. Called once by Network::Link.
-  void Connect(Port* peer_port, uint64_t bps, TimeNs prop_delay);
+  void Connect(Port* peer_port, BitsPerSec bps, TimeNs prop_delay);
 
   // Enqueues for transmission; drops (tail) if the buffer is full. Runs the
   // agent egress hook and ECN marking first.
   void Enqueue(PacketPtr pkt);
 
   // --- configuration ---
-  void set_buffer_limit(uint64_t bytes) {
+  void set_buffer_limit(Bytes bytes) {
     buffer_limit_bytes_ = bytes;
     if (bytes > buffer_limit_hi_bytes_) {
       buffer_limit_hi_bytes_ = bytes;
     }
   }
-  void set_ecn_threshold(uint64_t bytes) { ecn_threshold_bytes_ = bytes; }
+  void set_ecn_threshold(Bytes bytes) { ecn_threshold_bytes_ = bytes; }
   void set_agent(std::unique_ptr<PortAgent> agent) { agent_ = std::move(agent); }
 
   // Fault injection (src/net/fault.h): when set, every packet that finishes
@@ -97,16 +97,16 @@ class Port {
   Node* peer() const { return peer_node_; }
   Port* peer_port() const { return peer_port_; }
   int index() const { return index_; }
-  uint64_t bps() const { return bps_; }
+  BitsPerSec bps() const { return bps_; }
   TimeNs prop_delay() const { return prop_delay_; }
   PortAgent* agent() const { return agent_.get(); }
   Scheduler* scheduler() const { return scheduler_; }
 
   // Queue occupancy in frame bytes (the packet being serialized remains
   // queued, and counted, until its serialization completes).
-  uint64_t queue_bytes() const { return queue_bytes_; }
+  Bytes queue_bytes() const { return queue_bytes_; }
   size_t queue_packets() const { return queue_.size(); }
-  uint64_t buffer_limit() const { return buffer_limit_bytes_; }
+  Bytes buffer_limit() const { return buffer_limit_bytes_; }
 
   // Runtime-auditor hook: re-derives queue accounting from the queue's
   // actual contents and checks occupancy against the buffer limit.
@@ -114,16 +114,16 @@ class Port {
 
   // --- statistics ---
   uint64_t tx_packets() const { return tx_packets_; }
-  uint64_t tx_bytes() const { return tx_bytes_; }  // frame bytes
+  Bytes tx_bytes() const { return tx_bytes_; }  // frame bytes
   uint64_t drops() const { return drops_; }
-  uint64_t dropped_bytes() const { return dropped_bytes_; }
-  uint64_t max_queue_bytes() const { return max_queue_bytes_; }
+  Bytes dropped_bytes() const { return dropped_bytes_; }
+  Bytes max_queue_bytes() const { return max_queue_bytes_; }
   uint64_t ecn_marks() const { return ecn_marks_; }
   void ResetMaxQueue() { max_queue_bytes_ = queue_bytes_; }
 
-  // Cumulative time the transmitter spent serializing (ns of simulated
-  // time). busy_ns / elapsed = link utilization; docs/observability.md.
-  uint64_t busy_ns() const { return busy_ns_; }
+  // Cumulative time the transmitter spent serializing (simulated time).
+  // busy_ns / elapsed = link utilization; docs/observability.md.
+  TimeNs busy_ns() const { return busy_ns_; }
 
   // Telemetry name prefix for this port: "port.<node>.p<index>".
   // Registered metrics: .queue_bytes .queue_packets .drops .tx_bytes
@@ -131,7 +131,7 @@ class Port {
   std::string metric_prefix() const;
 
   // Serialization time of `wire_bytes` on this link.
-  TimeNs SerializationTime(uint32_t wire_bytes) const;
+  TimeNs SerializationTime(Bytes wire_bytes) const;
 
  private:
   void TryTransmit();
@@ -144,28 +144,28 @@ class Port {
 
   Port* peer_port_ = nullptr;
   Node* peer_node_ = nullptr;
-  uint64_t bps_ = 0;
+  BitsPerSec bps_ = 0;
   TimeNs prop_delay_ = 0;
 
   std::deque<PacketPtr> queue_;
-  uint64_t queue_bytes_ = 0;
-  uint64_t buffer_limit_bytes_ = 256 * 1024;
+  Bytes queue_bytes_ = 0;
+  Bytes buffer_limit_bytes_ = 256 * 1024;
   // Largest limit ever configured; tests shrink the limit mid-run to break
   // paths, so the auditor bounds occupancy by the historical maximum.
-  uint64_t buffer_limit_hi_bytes_ = 256 * 1024;
-  uint64_t ecn_threshold_bytes_ = 0;  // 0 = marking disabled
+  Bytes buffer_limit_hi_bytes_ = 256 * 1024;
+  Bytes ecn_threshold_bytes_ = 0;  // 0 = marking disabled
   bool busy_ = false;
 
   std::unique_ptr<PortAgent> agent_;
   FaultInjector* fault_ = nullptr;
 
   uint64_t tx_packets_ = 0;
-  uint64_t tx_bytes_ = 0;
+  Bytes tx_bytes_ = 0;
   uint64_t drops_ = 0;
-  uint64_t dropped_bytes_ = 0;
-  uint64_t max_queue_bytes_ = 0;
+  Bytes dropped_bytes_ = 0;
+  Bytes max_queue_bytes_ = 0;
   uint64_t ecn_marks_ = 0;
-  uint64_t busy_ns_ = 0;       // cumulative serialization time
+  TimeNs busy_ns_ = 0;         // cumulative serialization time
   TimeNs busy_since_ = 0;      // start of the in-progress serialization
   ProfileSite* serialize_site_ = nullptr;  // shared "port.serialize" site
 

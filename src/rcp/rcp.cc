@@ -96,7 +96,7 @@ std::unique_ptr<ReliableReceiver> RcpSender::MakeReceiver() {
                                        transport_config().delayed_ack_timeout);
 }
 
-bool RcpSender::CanSendMore(uint64_t inflight_payload) const {
+bool RcpSender::CanSendMore(Bytes inflight_payload) const {
   return static_cast<double>(inflight_payload) < cwnd_;
 }
 

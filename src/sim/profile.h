@@ -45,13 +45,15 @@ class ProfileSite {
 
   const std::string& name() const { return name_; }
   uint64_t hits() const { return hits_; }
-  uint64_t wall_ns() const { return wall_ns_; }
+  uint64_t wall_ns() const { return wall_ns_; }  // lint:allow units (host wall clock)
   TimeNs sim_ns() const { return sim_ns_; }
 
  private:
   std::string name_;
   uint64_t hits_ = 0;
-  uint64_t wall_ns_ = 0;  // accumulated only while the profiler is enabled
+  // Host wall-clock nanoseconds from std::chrono, not simulated TimeNs —
+  // the one clock the unit layer deliberately leaves raw.
+  uint64_t wall_ns_ = 0;  // lint:allow units (accumulated only while enabled)
   TimeNs sim_ns_ = 0;     // simulated time attributed by the component
 };
 

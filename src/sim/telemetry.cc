@@ -676,7 +676,7 @@ void SpillWriter::AppendRecord(uint32_t series_id, TimeNs t_ns, double v) {
     Flush();
   }
   PutU32(buf_, series_id);
-  PutU64(buf_, static_cast<uint64_t>(t_ns));
+  PutU64(buf_, static_cast<uint64_t>(t_ns.count()));
   PutU64(buf_, std::bit_cast<uint64_t>(v));
 }
 

@@ -1,0 +1,396 @@
+// Dimensional analysis at compile time: strong unit types for the
+// quantities TFC's correctness depends on — time, bytes, tokens, link
+// rate, and dimensionless ratios.
+//
+// TFC is an exercise in unit discipline: tokens are denominated in bytes,
+// windows are stamped into packet headers as integers, and BDP is a
+// rate x time product. Two shipped bugs were exactly unit/narrowing
+// confusions (the StampWindow unguarded double->uint32 cast, the EndSlot
+// clamp inversion), so this layer turns that whole bug class into a
+// compile error:
+//
+//   - Quantities of different dimensions do not mix: Bytes + TimeNs,
+//     Tokens + Bytes, and every other cross-dimension operator simply do
+//     not exist (tests/units_compile_fail/ pins this down).
+//   - Nothing converts *out* implicitly: `uint32_t w = bytes;` does not
+//     compile. Narrowing to wire-format fields goes through the checked
+//     ToU32Saturating() helpers, never a raw static_cast.
+//   - Only the physically meaningful products exist:
+//         BitsPerSec * TimeNs -> Tokens  (fractional bytes; BDP, capacity)
+//         Bytes / BitsPerSec  -> TimeNs  (serialization time, exact integer)
+//         Tokens / Tokens     -> Ratio   (utilization rho)
+//   - Tokens are byte-denominated but deliberately NOT interconvertible
+//     with Bytes: the token-conservation ledger converts only through the
+//     explicit Tokens::FromBytes / Tokens::ToBytes boundary, so the ledger
+//     arithmetic is dimension-checked end to end.
+//
+// Zero overhead by construction: every type wraps exactly one scalar, every
+// operation is constexpr/inline and performs the same machine arithmetic
+// (same operand order, same rounding) as the raw code it replaced — the
+// fig08/fig09, sweep, and chaos-replay byte-identity gates prove the
+// migration is purely a type-level change.
+//
+// Entering a dimension from a raw scalar is deliberately cheap (implicit
+// from integral literals, so `TimeNs t = 0;` and `Write(64 * 1024)` read
+// naturally); floating-point entry is explicit because it truncates.
+// Leaving a dimension always names the escape: count(), value(), or an
+// explicit cast. The conversion policy table lives in docs/correctness.md.
+
+#ifndef SRC_SIM_UNITS_H_
+#define SRC_SIM_UNITS_H_
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+namespace tfc {
+
+namespace units_internal {
+template <typename T>
+inline constexpr bool is_integer_v = std::is_integral_v<T> && !std::is_same_v<T, bool>;
+}  // namespace units_internal
+
+// Checked narrowing for wire-format fields: clamps into [0, 2^32-1] before
+// the float->int conversion, so the cast is always defined behaviour. This
+// replaces the unguarded `static_cast<uint32_t>(double)` pattern that was
+// UB at giant BDP (the PR 2 StampWindow bug).
+constexpr uint32_t SaturatingU32(double v) {
+  if (!(v > 0.0)) {  // negative and NaN both clamp to zero
+    return 0;
+  }
+  if (v >= 4294967295.0) {
+    return 0xffffffffu;
+  }
+  return static_cast<uint32_t>(v);
+}
+
+constexpr uint32_t SaturatingU32(int64_t v) {
+  if (v < 0) {
+    return 0;
+  }
+  if (v > INT64_C(0xffffffff)) {
+    return 0xffffffffu;
+  }
+  return static_cast<uint32_t>(v);
+}
+
+// ---------------------------------------------------------------------------
+// TimeNs — a point in simulated time, or a duration, in nanoseconds.
+//
+// Signed 64-bit: fine enough for one min-size frame at 100 Gbps (~6.7 ns),
+// wide enough for ~292 years of simulated time. Promoted from a weak
+// `using TimeNs = int64_t;` alias to a real type: time now refuses to mix
+// with byte counts, rates, or tokens.
+// ---------------------------------------------------------------------------
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  // Implicit from integer counts: nanoseconds are the native tick, and
+  // `TimeNs t = 0;` / `RunUntil(Seconds(2))` must stay frictionless.
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  constexpr TimeNs(T ns) : ns_(static_cast<int64_t>(ns)) {}  // NOLINT(runtime/explicit)
+  // Explicit from floating point: the conversion truncates.
+  template <typename T, std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  explicit constexpr TimeNs(T ns) : ns_(static_cast<int64_t>(ns)) {}
+
+  constexpr int64_t count() const { return ns_; }
+  explicit constexpr operator int64_t() const { return ns_; }
+  explicit constexpr operator double() const { return static_cast<double>(ns_); }
+
+  constexpr TimeNs& operator+=(TimeNs d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  constexpr TimeNs& operator*=(T k) {
+    ns_ *= static_cast<int64_t>(k);
+    return *this;
+  }
+
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) { return TimeNs(a.ns_ + b.ns_); }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) { return TimeNs(a.ns_ - b.ns_); }
+  friend constexpr TimeNs operator-(TimeNs a) { return TimeNs(-a.ns_); }
+  // Scaling by a dimensionless integer keeps the dimension.
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr TimeNs operator*(TimeNs a, T k) {
+    return TimeNs(a.ns_ * static_cast<int64_t>(k));
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr TimeNs operator*(T k, TimeNs a) {
+    return TimeNs(static_cast<int64_t>(k) * a.ns_);
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr TimeNs operator/(TimeNs a, T k) {
+    return TimeNs(a.ns_ / static_cast<int64_t>(k));
+  }
+  // time / time is a dimensionless count (integer division, like the raw
+  // int64 arithmetic it replaces).
+  friend constexpr int64_t operator/(TimeNs a, TimeNs b) { return a.ns_ / b.ns_; }
+  friend constexpr TimeNs operator%(TimeNs a, TimeNs b) { return TimeNs(a.ns_ % b.ns_); }
+
+  friend constexpr bool operator==(TimeNs a, TimeNs b) { return a.ns_ == b.ns_; }
+  friend constexpr bool operator!=(TimeNs a, TimeNs b) { return a.ns_ != b.ns_; }
+  friend constexpr bool operator<(TimeNs a, TimeNs b) { return a.ns_ < b.ns_; }
+  friend constexpr bool operator<=(TimeNs a, TimeNs b) { return a.ns_ <= b.ns_; }
+  friend constexpr bool operator>(TimeNs a, TimeNs b) { return a.ns_ > b.ns_; }
+  friend constexpr bool operator>=(TimeNs a, TimeNs b) { return a.ns_ >= b.ns_; }
+
+ private:
+  int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, TimeNs t) { return os << t.count(); }
+
+// ---------------------------------------------------------------------------
+// Bytes — an integer byte count (queue occupancy, buffer limits, flow
+// sizes, transfer goals). Signed 64-bit so differences are safe.
+// ---------------------------------------------------------------------------
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  constexpr Bytes(T n) : n_(static_cast<int64_t>(n)) {}  // NOLINT(runtime/explicit)
+  template <typename T, std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  explicit constexpr Bytes(T n) : n_(static_cast<int64_t>(n)) {}
+
+  constexpr int64_t count() const { return n_; }
+  explicit constexpr operator int64_t() const { return n_; }
+  explicit constexpr operator double() const { return static_cast<double>(n_); }
+
+  // Checked narrowing to a 32-bit wire-format field.
+  constexpr uint32_t ToU32Saturating() const { return SaturatingU32(n_); }
+
+  constexpr Bytes& operator+=(Bytes d) {
+    n_ += d.n_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes d) {
+    n_ -= d.n_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.n_ + b.n_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.n_ - b.n_); }
+  friend constexpr Bytes operator-(Bytes a) { return Bytes(-a.n_); }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr Bytes operator*(Bytes a, T k) {
+    return Bytes(a.n_ * static_cast<int64_t>(k));
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr Bytes operator*(T k, Bytes a) {
+    return Bytes(static_cast<int64_t>(k) * a.n_);
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr Bytes operator/(Bytes a, T k) {
+    return Bytes(a.n_ / static_cast<int64_t>(k));
+  }
+  friend constexpr int64_t operator/(Bytes a, Bytes b) { return a.n_ / b.n_; }
+
+  friend constexpr bool operator==(Bytes a, Bytes b) { return a.n_ == b.n_; }
+  friend constexpr bool operator!=(Bytes a, Bytes b) { return a.n_ != b.n_; }
+  friend constexpr bool operator<(Bytes a, Bytes b) { return a.n_ < b.n_; }
+  friend constexpr bool operator<=(Bytes a, Bytes b) { return a.n_ <= b.n_; }
+  friend constexpr bool operator>(Bytes a, Bytes b) { return a.n_ > b.n_; }
+  friend constexpr bool operator>=(Bytes a, Bytes b) { return a.n_ >= b.n_; }
+
+ private:
+  int64_t n_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Bytes b) { return os << b.count(); }
+
+// ---------------------------------------------------------------------------
+// Ratio — a dimensionless quantity (utilization rho, EWMA weights, link
+// fractions). Converts to and from double freely: there is no dimension to
+// protect, the type exists so signatures can say what they mean.
+// ---------------------------------------------------------------------------
+class Ratio {
+ public:
+  constexpr Ratio() = default;
+  constexpr Ratio(double v) : v_(v) {}  // NOLINT(runtime/explicit)
+  constexpr operator double() const { return v_; }  // NOLINT(runtime/explicit)
+  constexpr double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Tokens — TFC's allocation currency. Byte-denominated (one token buys one
+// byte of transmission) but *fractional*: refills accrue at rho0*c per
+// nanosecond and the EWMA mixes histories, so the ledger lives in doubles.
+//
+// Deliberately NOT interconvertible with Bytes: a token is a *claim* on
+// future transmission, not traffic that happened. Crossing the boundary is
+// explicit — Tokens::FromBytes() when measured traffic enters the ledger,
+// ToBytes()/ToU32Saturating() when an allocation is stamped into a packet —
+// so conservation arithmetic (counter == initial + refilled - overflow -
+// debited + forgiven) is dimension-checked by the compiler.
+// ---------------------------------------------------------------------------
+class Tokens {
+ public:
+  constexpr Tokens() = default;
+  explicit constexpr Tokens(double v) : v_(v) {}
+
+  static constexpr Tokens FromBytes(Bytes b) {
+    return Tokens(static_cast<double>(b.count()));
+  }
+
+  constexpr double value() const { return v_; }
+  explicit constexpr operator double() const { return v_; }
+
+  // Truncating conversion back to integer bytes (named, never implicit).
+  constexpr Bytes ToBytes() const { return Bytes(static_cast<int64_t>(v_)); }
+  // Checked narrowing to a 32-bit wire-format window field.
+  constexpr uint32_t ToU32Saturating() const { return SaturatingU32(v_); }
+
+  constexpr Tokens& operator+=(Tokens d) {
+    v_ += d.v_;
+    return *this;
+  }
+  constexpr Tokens& operator-=(Tokens d) {
+    v_ -= d.v_;
+    return *this;
+  }
+
+  friend constexpr Tokens operator+(Tokens a, Tokens b) { return Tokens(a.v_ + b.v_); }
+  friend constexpr Tokens operator-(Tokens a, Tokens b) { return Tokens(a.v_ - b.v_); }
+  friend constexpr Tokens operator-(Tokens a) { return Tokens(-a.v_); }
+  friend constexpr Tokens operator*(Tokens a, double k) { return Tokens(a.v_ * k); }
+  friend constexpr Tokens operator*(double k, Tokens a) { return Tokens(k * a.v_); }
+  friend constexpr Tokens operator/(Tokens a, double k) { return Tokens(a.v_ / k); }
+  // tokens / tokens is dimensionless (utilization, shares).
+  friend constexpr Ratio operator/(Tokens a, Tokens b) { return Ratio(a.v_ / b.v_); }
+
+  friend constexpr bool operator==(Tokens a, Tokens b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Tokens a, Tokens b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Tokens a, Tokens b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Tokens a, Tokens b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Tokens a, Tokens b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Tokens a, Tokens b) { return a.v_ >= b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Tokens t) { return os << t.value(); }
+
+// ---------------------------------------------------------------------------
+// BitsPerSec — a link rate. Unsigned 64-bit bits per second (100 Gbps is
+// 1e11, far inside range).
+// ---------------------------------------------------------------------------
+class BitsPerSec {
+ public:
+  constexpr BitsPerSec() = default;
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  constexpr BitsPerSec(T bps) : bps_(static_cast<uint64_t>(bps)) {}  // NOLINT(runtime/explicit)
+
+  constexpr uint64_t count() const { return bps_; }
+  explicit constexpr operator uint64_t() const { return bps_; }
+  explicit constexpr operator double() const { return static_cast<double>(bps_); }
+
+  // The rate as fractional bytes per nanosecond / per second — the exact
+  // double expressions the control-plane math has always used, so swapping
+  // a cached `double bytes_per_ns_` for `rate_.bytes_per_ns()` is
+  // bit-identical.
+  constexpr double bytes_per_ns() const { return static_cast<double>(bps_) / 8.0 / 1e9; }
+  constexpr double bytes_per_sec() const { return static_cast<double>(bps_) / 8.0; }
+
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr BitsPerSec operator*(BitsPerSec a, T k) {
+    return BitsPerSec(a.bps_ * static_cast<uint64_t>(k));
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr BitsPerSec operator*(T k, BitsPerSec a) {
+    return BitsPerSec(static_cast<uint64_t>(k) * a.bps_);
+  }
+  template <typename T, std::enable_if_t<units_internal::is_integer_v<T>, int> = 0>
+  friend constexpr BitsPerSec operator/(BitsPerSec a, T k) {
+    return BitsPerSec(a.bps_ / static_cast<uint64_t>(k));
+  }
+  friend constexpr double operator/(BitsPerSec a, BitsPerSec b) {
+    return static_cast<double>(a.bps_) / static_cast<double>(b.bps_);
+  }
+
+  friend constexpr bool operator==(BitsPerSec a, BitsPerSec b) { return a.bps_ == b.bps_; }
+  friend constexpr bool operator!=(BitsPerSec a, BitsPerSec b) { return a.bps_ != b.bps_; }
+  friend constexpr bool operator<(BitsPerSec a, BitsPerSec b) { return a.bps_ < b.bps_; }
+  friend constexpr bool operator<=(BitsPerSec a, BitsPerSec b) { return a.bps_ <= b.bps_; }
+  friend constexpr bool operator>(BitsPerSec a, BitsPerSec b) { return a.bps_ > b.bps_; }
+  friend constexpr bool operator>=(BitsPerSec a, BitsPerSec b) { return a.bps_ >= b.bps_; }
+
+ private:
+  uint64_t bps_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, BitsPerSec r) { return os << r.count(); }
+
+// ---------------------------------------------------------------------------
+// The physically meaningful cross-dimension products. Nothing else exists:
+// Bytes + TimeNs, Tokens + Bytes, TimeNs * TimeNs and friends are compile
+// errors (tests/units_compile_fail/).
+// ---------------------------------------------------------------------------
+
+// rate x time -> fractional bytes (BDP, slot capacity). Same double math as
+// the raw `bytes_per_ns * (double)ns` it replaces.
+constexpr Tokens operator*(BitsPerSec rate, TimeNs t) {
+  return Tokens(rate.bytes_per_ns() * static_cast<double>(t.count()));
+}
+constexpr Tokens operator*(TimeNs t, BitsPerSec rate) { return rate * t; }
+
+// bytes / rate -> serialization time. Exact integer arithmetic in 128 bits
+// (bits * 1e9 cannot overflow), truncating like the port TX path always has.
+constexpr TimeNs operator/(Bytes b, BitsPerSec rate) {
+  const unsigned __int128 bits = static_cast<unsigned __int128>(b.count()) * 8;
+  return TimeNs(static_cast<int64_t>(bits * 1'000'000'000ull / rate.count()));
+}
+
+}  // namespace tfc
+
+// std::numeric_limits<UnitType>: without these, the unspecialized primary
+// template silently "works" — numeric_limits<TimeNs>::max() compiles and
+// returns TimeNs{} == 0, which turned the fault injector's "no stop
+// configured" sentinel into "stop immediately" during the migration. The
+// specializations give max/min/lowest their obvious meanings; every other
+// numeric_limits member is intentionally absent so novel uses fail loud.
+namespace std {
+template <>
+class numeric_limits<tfc::TimeNs> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr tfc::TimeNs max() noexcept { return tfc::TimeNs(numeric_limits<int64_t>::max()); }
+  static constexpr tfc::TimeNs min() noexcept { return tfc::TimeNs(numeric_limits<int64_t>::min()); }
+  static constexpr tfc::TimeNs lowest() noexcept { return min(); }
+};
+template <>
+class numeric_limits<tfc::Bytes> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr tfc::Bytes max() noexcept { return tfc::Bytes(numeric_limits<int64_t>::max()); }
+  static constexpr tfc::Bytes min() noexcept { return tfc::Bytes(numeric_limits<int64_t>::min()); }
+  static constexpr tfc::Bytes lowest() noexcept { return min(); }
+};
+template <>
+class numeric_limits<tfc::Tokens> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr tfc::Tokens max() noexcept { return tfc::Tokens(numeric_limits<double>::max()); }
+  static constexpr tfc::Tokens min() noexcept { return tfc::Tokens(numeric_limits<double>::min()); }
+  static constexpr tfc::Tokens lowest() noexcept { return tfc::Tokens(numeric_limits<double>::lowest()); }
+};
+template <>
+class numeric_limits<tfc::BitsPerSec> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr tfc::BitsPerSec max() noexcept { return tfc::BitsPerSec(numeric_limits<uint64_t>::max()); }
+  static constexpr tfc::BitsPerSec min() noexcept { return tfc::BitsPerSec(0); }
+  static constexpr tfc::BitsPerSec lowest() noexcept { return min(); }
+};
+}  // namespace std
+
+#endif  // SRC_SIM_UNITS_H_

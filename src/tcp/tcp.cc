@@ -15,11 +15,11 @@ TcpSender::TcpSender(Network* network, Host* local, Host* remote, const TcpConfi
                             [this] { return ssthresh_; });
 }
 
-bool TcpSender::CanSendMore(uint64_t inflight_payload) const {
+bool TcpSender::CanSendMore(Bytes inflight_payload) const {
   return static_cast<double>(inflight_payload) < cwnd_;
 }
 
-void TcpSender::GrowWindow(uint64_t newly_acked) {
+void TcpSender::GrowWindow(Bytes newly_acked) {
   // Appropriate Byte Counting (RFC 3465, L = 2): a single cumulative ACK
   // covering many segments must not grow the window as if each segment had
   // been acknowledged separately.
@@ -34,7 +34,7 @@ void TcpSender::GrowWindow(uint64_t newly_acked) {
   }
 }
 
-void TcpSender::OnAckedData(const Packet& ack, uint64_t newly_acked) {
+void TcpSender::OnAckedData(const Packet& ack, Bytes newly_acked) {
   (void)ack;
   GrowWindow(newly_acked);
 }
@@ -45,12 +45,12 @@ void TcpSender::OnDuplicateAck() {
   cwnd_ += mss();
 }
 
-void TcpSender::OnEnterRecovery(uint64_t flight_size) {
+void TcpSender::OnEnterRecovery(Bytes flight_size) {
   ssthresh_ = std::max(static_cast<double>(flight_size) / 2.0, 2.0 * mss());
   cwnd_ = ssthresh_ + 3.0 * mss();
 }
 
-void TcpSender::OnPartialAck(uint64_t newly_acked) {
+void TcpSender::OnPartialAck(Bytes newly_acked) {
   // NewReno deflation: remove the acked data from the inflated window, then
   // allow one new segment.
   cwnd_ = std::max(min_cwnd(), cwnd_ - static_cast<double>(newly_acked) + mss());

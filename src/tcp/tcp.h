@@ -25,16 +25,16 @@ class TcpSender : public ReliableSender {
   double ssthresh_bytes() const { return ssthresh_; }
 
  protected:
-  bool CanSendMore(uint64_t inflight_payload) const override;
-  void OnAckedData(const Packet& ack, uint64_t newly_acked) override;
+  bool CanSendMore(Bytes inflight_payload) const override;
+  void OnAckedData(const Packet& ack, Bytes newly_acked) override;
   void OnDuplicateAck() override;
-  void OnEnterRecovery(uint64_t flight_size) override;
-  void OnPartialAck(uint64_t newly_acked) override;
+  void OnEnterRecovery(Bytes flight_size) override;
+  void OnPartialAck(Bytes newly_acked) override;
   void OnExitRecovery() override;
   void OnRetransmitTimeout() override;
 
   // Additive/multiplicative pieces exposed so DCTCP can reuse them.
-  void GrowWindow(uint64_t newly_acked);
+  void GrowWindow(Bytes newly_acked);
   double mss() const { return static_cast<double>(transport_config().mss); }
   double min_cwnd() const { return config_.min_cwnd_segments * mss(); }
   void set_cwnd(double cwnd) { cwnd_ = std::max(cwnd, min_cwnd()); }

@@ -49,7 +49,7 @@ struct TfcSwitchConfig {
   // --- RTT measurement ---
   // Only delimiter round-marks whose frame is at least this long update
   // rtt_b (Sec. 4.4: store-and-forward time differs with packet size).
-  uint32_t rtt_measure_min_frame = 1500;
+  Bytes rtt_measure_min_frame = 1500;
   // Re-elect the delimiter after 2^k·rtt_last of silence, k <= this
   // (Sec. 5.2: maximum k is 7).
   int max_miss_exponent = 7;
@@ -64,7 +64,7 @@ struct TfcSwitchConfig {
   // --- delay function for sub-MSS windows (Sec. 4.6) ---
   bool enable_delay_function = true;
   // Release quantum: one full-size frame.
-  uint32_t delay_quantum = kMtuFrameBytes;
+  Bytes delay_quantum = kMtuFrameBytes;
   // Counter cap, in quanta, bounding the burst of simultaneously released
   // sub-MSS flows.
   double counter_cap_quanta = 2.0;

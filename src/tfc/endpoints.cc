@@ -20,8 +20,7 @@ void TfcReceiver::DecorateAck(const Packet& data, Packet& ack) {
     // Echo the minimum window stamped along the path, bounded by our own
     // advertised window (Sec. 5.3).
     ack.rma = true;
-    ack.window = static_cast<uint32_t>(
-        std::min<uint64_t>(data.window, advertised_window()));
+    ack.window = std::min(Bytes(data.window), advertised_window()).ToU32Saturating();
   } else {
     // The window field of non-RMA ACKs carries no allocation.
     ack.window = kWindowInfinite;
@@ -52,17 +51,17 @@ std::unique_ptr<ReliableReceiver> TfcSender::MakeReceiver() {
                                        transport_config().delayed_ack_timeout);
 }
 
-uint64_t TfcSender::FrameBytesInFlight(uint64_t inflight_payload) const {
+Bytes TfcSender::FrameBytesInFlight(Bytes inflight_payload) const {
   const uint32_t mss = transport_config().mss;
-  const uint64_t packets = (inflight_payload + mss - 1) / mss;
+  const int64_t packets = (inflight_payload + (mss - 1)) / Bytes(mss);
   return inflight_payload + packets * kHeaderBytes;
 }
 
-bool TfcSender::CanSendMore(uint64_t inflight_payload) const {
+bool TfcSender::CanSendMore(Bytes inflight_payload) const {
   if (!have_window_) {
     return false;  // window-acquisition phase: hold data until the RMA
   }
-  const uint64_t frames = FrameBytesInFlight(inflight_payload);
+  const Bytes frames = FrameBytesInFlight(inflight_payload);
   return static_cast<double>(frames) < cwnd_frames_;
 }
 

@@ -32,8 +32,9 @@ class TfcSender : public ReliableSender {
  public:
   TfcSender(Network* network, Host* local, Host* remote, const TfcHostConfig& config);
 
-  // Congestion window assigned by the network, in frame bytes.
-  double cwnd_frame_bytes() const { return cwnd_frames_; }
+  // Congestion window assigned by the network, in frame bytes (raw view
+  // for stats/tests).
+  double cwnd_frame_bytes() const { return cwnd_frames_; }  // lint:allow units
   bool window_acquired() const { return have_window_; }
   uint64_t probes_sent() const { return probes_sent_; }
   // Probes re-sent by the capped-exponential-backoff retry timer (a lost
@@ -42,7 +43,7 @@ class TfcSender : public ReliableSender {
 
  protected:
   bool MarkSyn() const override { return true; }
-  bool CanSendMore(uint64_t inflight_payload) const override;
+  bool CanSendMore(Bytes inflight_payload) const override;
   void OnEstablished() override;
   void OnWrite() override;
   void OnAckHeader(const Packet& ack) override;
@@ -55,7 +56,7 @@ class TfcSender : public ReliableSender {
   void SendProbe();
   void ArmProbeRetry();
   void OnProbeRetryTimer();
-  uint64_t FrameBytesInFlight(uint64_t inflight_payload) const;
+  Bytes FrameBytesInFlight(Bytes inflight_payload) const;
 
   TfcHostConfig config_;
   double cwnd_frames_ = 0.0;

@@ -13,22 +13,23 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
       port_(port),
       config_(config),
       scheduler_(port->scheduler()),
-      bytes_per_ns_(static_cast<double>(port->bps()) / 8.0 / 1e9),
+      link_rate_(port->bps()),
       rttb_(config.initial_rttb),
       rttb_epoch_min_(config.initial_rttb),
       rttb_prev_epoch_min_(config.initial_rttb),
       failover_timer_(scheduler_, [this] { OnFailoverTimer(); }),
-      token_bytes_(bdp_bytes()),
-      counter_bytes_(config.counter_cap_quanta * config.delay_quantum),
+      token_(bdp()),
+      counter_(config.counter_cap_quanta *
+               Tokens::FromBytes(config.delay_quantum)),
       release_timer_(scheduler_, [this] { ReleaseParkedAcks(); }),
-      counter_initial_(counter_bytes_),
-      token_bound_hi_(config.token_boost_cap * bdp_bytes()),
+      counter_initial_(counter_),
+      token_bound_hi_(config.token_boost_cap * bdp()),
       metrics_(&owner->network()->metrics()),
       audit_registration_(&owner->network()->audit(),
                           "tfc.port:" + owner->name() + "." +
                               std::to_string(port->index()),
                           [this](Auditor& a) { AuditInvariants(a); }) {
-  TFC_CHECK_GT(port->bps(), 0u);
+  TFC_CHECK_GT(port->bps().count(), 0u);
   TFC_CHECK_MSG(config.rho0 > 0.0 && config.rho0 <= 1.0, "rho0=" << config.rho0);
   TFC_CHECK_MSG(config.history_weight >= 0.0 && config.history_weight < 1.0,
                 "history_weight=" << config.history_weight);
@@ -41,11 +42,11 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
   metrics_.set_replace_on_collision(true);
   const std::string prefix =
       "tfc." + owner->name() + ".p" + std::to_string(port->index());
-  metrics_.AddCallbackGauge(prefix + ".token_bytes", [this] { return token_bytes_; });
-  metrics_.AddCallbackGauge(prefix + ".window_bytes", [this] { return window_bytes_; });
+  metrics_.AddCallbackGauge(prefix + ".token_bytes", [this] { return token_.value(); });
+  metrics_.AddCallbackGauge(prefix + ".window_bytes", [this] { return window_.value(); });
   metrics_.AddCallbackGauge(prefix + ".effective_flows",
                             [this] { return static_cast<double>(last_E_); });
-  metrics_.AddCallbackGauge(prefix + ".rho", [this] { return last_rho_; });
+  metrics_.AddCallbackGauge(prefix + ".rho", [this] { return last_rho_.value(); });
   metrics_.AddCallbackGauge(prefix + ".rtt_b_ns",
                             [this] { return static_cast<double>(rttb_); });
   metrics_.AddCallbackGauge(prefix + ".rtt_m_ns",
@@ -64,8 +65,10 @@ TfcPortAgent::TfcPortAgent(Switch* owner, Port* port, const TfcSwitchConfig& con
                             [this] { return static_cast<double>(state_wipes_); });
 }
 
-double TfcPortAgent::bdp_bytes() const {
-  return bytes_per_ns_ * static_cast<double>(rttb_);
+Tokens TfcPortAgent::bdp() const {
+  // BitsPerSec x TimeNs -> Tokens: the same bytes_per_ns * (double)ns
+  // product the raw code computed (src/sim/units.h).
+  return link_rate_ * rttb_;
 }
 
 TfcPortAgent* TfcPortAgent::FromPort(Port* port) {
@@ -77,7 +80,7 @@ TfcPortAgent* TfcPortAgent::FromPort(Port* port) {
 // ---------------------------------------------------------------------------
 
 void TfcPortAgent::OnEgress(Packet& pkt) {
-  arrived_wire_bytes_ += pkt.wire_bytes();
+  arrived_wire_bytes_ += Bytes(pkt.wire_bytes());
   if (!pkt.is_data()) {
     return;
   }
@@ -134,14 +137,14 @@ void TfcPortAgent::StampWindow(Packet& pkt) const {
   // The double must be clamped into uint32 range *before* the cast: for a
   // fast link with a large rtt_b (100 Gbps x the 160 us initial, or a slot
   // inflated by delimiter silence) 4 BDPs exceeds 2^32 and the unguarded
-  // float->int conversion is undefined behavior (caught by the
-  // float-cast-overflow sanitizer in the asan-ubsan preset).
-  const double bounded =
-      std::min(std::max(1.0, std::floor(window_bytes_)),
-               static_cast<double>(kWindowInfinite));
-  const uint32_t w = (have_window_ && rttb_measured_)
-                         ? static_cast<uint32_t>(bounded)
-                         : config_.delay_quantum - 1;
+  // float->int conversion is undefined behavior. SaturatingU32 (units.h) is
+  // that clamp, named; the min against kWindowInfinite keeps the stamped
+  // value meaning "infinite" rather than merely "huge".
+  const uint32_t w =
+      (have_window_ && rttb_measured_)
+          ? SaturatingU32(std::min(std::max(1.0, std::floor(window_.value())),
+                                   static_cast<double>(kWindowInfinite)))
+          : (config_.delay_quantum - 1).ToU32Saturating();
   pkt.window = std::min(pkt.window, w);
 }
 
@@ -172,7 +175,7 @@ void TfcPortAgent::AdoptDelimiter(const Packet& pkt) {
   slot_start_ = scheduler_->now();
   slot_start_queue_bytes_ = port_->queue_bytes();
   E_ = std::max<int>(1, pkt.weight);  // the adopting RM starts the slot
-  arrived_wire_bytes_ = pkt.wire_bytes();
+  arrived_wire_bytes_ = Bytes(pkt.wire_bytes());
   ArmFailover();
 }
 
@@ -191,9 +194,9 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
   // round. Without this correction a standing queue feeds itself: rtt_b
   // absorbs the queueing delay, which inflates the token value, which
   // sustains the queue (remote hops' queueing is still handled by the min).
-  if (pkt.frame_bytes() >= config_.rtt_measure_min_frame) {
-    const TimeNs local_wait =
-        static_cast<TimeNs>(static_cast<double>(slot_start_queue_bytes_) / bytes_per_ns_);
+  if (Bytes(pkt.frame_bytes()) >= config_.rtt_measure_min_frame) {
+    const TimeNs local_wait = TimeNs(
+        static_cast<double>(slot_start_queue_bytes_.count()) / link_rate_.bytes_per_ns());
     const TimeNs candidate = std::max(rtt_m - local_wait, rtt_m / 8);
     rttb_measured_ = true;
     rttb_epoch_min_ = std::min(rttb_epoch_min_, candidate);
@@ -208,26 +211,28 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
   }
 
   // The RM ending this slot belongs to the next one; account it there.
-  const uint64_t slot_bytes = arrived_wire_bytes_ - pkt.wire_bytes();
+  const Bytes slot_bytes = arrived_wire_bytes_ - Bytes(pkt.wire_bytes());
 
-  // ρ[n] = A[n] / (c · rtt_m[n])  — Sec. 4.5.
-  const double capacity_bytes = bytes_per_ns_ * static_cast<double>(rtt_m);
-  double rho = static_cast<double>(slot_bytes) / capacity_bytes;
-  rho = std::max(rho, config_.rho_floor);
+  // ρ[n] = A[n] / (c · rtt_m[n])  — Sec. 4.5. Measured traffic (Bytes)
+  // enters the token dimension through the explicit FromBytes boundary.
+  const Tokens capacity = link_rate_ * rtt_m;
+  Ratio rho = Tokens::FromBytes(slot_bytes) / capacity;
+  rho = std::max<double>(rho, config_.rho_floor);
 
   // Token adjustment (Eq. 7) with engineering clamps, then EWMA (Eq. 8).
   // The upper clamp is floored at one quantum: after a delimiter handover
   // re-seeds rtt_b from an anomalously short slot, token_boost_cap * bdp can
   // drop below one frame, which would invert the clamp bounds (UB) and
   // allocate less than the arbiter's release unit.
-  const double bdp = bdp_bytes();
-  const double quantum_bytes = static_cast<double>(config_.delay_quantum);
-  const double bound_hi = std::max(config_.token_boost_cap * bdp, quantum_bytes);
-  double target = config_.enable_token_adjustment ? bdp * config_.rho0 / rho : bdp;
-  target = std::clamp(target, quantum_bytes, bound_hi);
-  token_bytes_ =
-      config_.history_weight * token_bytes_ + (1.0 - config_.history_weight) * target;
-  token_bytes_ = std::clamp(token_bytes_, quantum_bytes, bound_hi);
+  const Tokens bdp_now = bdp();
+  const Tokens quantum = Tokens::FromBytes(config_.delay_quantum);
+  const Tokens bound_hi = std::max(config_.token_boost_cap * bdp_now, quantum);
+  Tokens target = config_.enable_token_adjustment
+                      ? Tokens(bdp_now.value() * config_.rho0 / rho.value())
+                      : bdp_now;
+  target = std::clamp(target, quantum, bound_hi);
+  token_ = config_.history_weight * token_ + (1.0 - config_.history_weight) * target;
+  token_ = std::clamp(token_, quantum, bound_hi);
   last_rho_ = rho;
   token_bound_hi_ = bound_hi;
 
@@ -235,19 +240,19 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
   const int effective = config_.flow_count_mode == FlowCountMode::kSynFin
                             ? std::max(1, synfin_count_)
                             : E_;
-  window_bytes_ = token_bytes_ / static_cast<double>(effective);
+  window_ = token_ / static_cast<double>(effective);
   have_window_ = true;
   last_E_ = effective;
   rttm_last_ = rtt_m;
   ++slots_completed_;
 
   if (on_slot) {
-    on_slot(SlotInfo{now, rtt_m, rttb_, E_, rho, token_bytes_, window_bytes_});
+    on_slot(SlotInfo{now, rtt_m, rttb_, E_, rho, token_, window_});
   }
 
   // Start the next slot; this RM counts as its first effective flow(s).
   E_ = std::max<int>(1, pkt.weight);
-  arrived_wire_bytes_ = pkt.wire_bytes();
+  arrived_wire_bytes_ = Bytes(pkt.wire_bytes());
   slot_start_ = now;
   slot_start_queue_bytes_ = port_->queue_bytes();
   miss_k_ = 0;
@@ -261,13 +266,13 @@ void TfcPortAgent::ArmFailover() {
   // delimiter on an RTT timescale would churn it every round (and each
   // churn re-seeds rtt_b from a load-inflated sample), so size the deadline
   // to the grant cycle instead.
-  if (have_window_ && window_bytes_ < config_.delay_quantum && last_E_ > 0) {
-    const double cycle_ns = static_cast<double>(last_E_) * config_.delay_quantum /
-                            (config_.rho0 * bytes_per_ns_);
-    base = std::max(base, static_cast<TimeNs>(cycle_ns));
+  if (have_window_ && window_ < Tokens::FromBytes(config_.delay_quantum) && last_E_ > 0) {
+    base = std::max(base, TimeNs(static_cast<double>(last_E_) *
+                                 static_cast<double>(config_.delay_quantum.count()) /
+                                 (config_.rho0 * link_rate_.bytes_per_ns())));
   }
   const int k = std::min(miss_k_, config_.max_miss_exponent);
-  failover_timer_.RestartAfter(base * (TimeNs{1} << (k + 1)));
+  failover_timer_.RestartAfter(base * (int64_t{1} << (k + 1)));
 }
 
 void TfcPortAgent::OnFailoverTimer() {
@@ -293,17 +298,18 @@ void TfcPortAgent::RefillCounter() {
     // Refill at the *target* utilization, not raw line rate: released grants
     // become full frames with preamble/IFG overhead on the wire, and with
     // zero headroom the queue would random-walk into the buffer limit.
-    const double add = config_.rho0 * bytes_per_ns_ * static_cast<double>(dt) *
-                       (static_cast<double>(config_.delay_quantum) /
-                        static_cast<double>(config_.delay_quantum + kWireOverheadBytes));
-    counter_bytes_ += add;
+    const Tokens add =
+        Tokens(config_.rho0 * link_rate_.bytes_per_ns() * static_cast<double>(dt.count()) *
+               (static_cast<double>(config_.delay_quantum.count()) /
+                static_cast<double>((config_.delay_quantum + kWireOverheadBytes).count())));
+    counter_ += add;
     refilled_total_ += add;
     counter_refill_time_ = now;
   }
-  const double cap = config_.counter_cap_quanta * config_.delay_quantum;
-  if (counter_bytes_ > cap) {
-    overflow_total_ += counter_bytes_ - cap;
-    counter_bytes_ = cap;
+  const Tokens cap = config_.counter_cap_quanta * Tokens::FromBytes(config_.delay_quantum);
+  if (counter_ > cap) {
+    overflow_total_ += counter_ - cap;
+    counter_ = cap;
   }
 }
 
@@ -313,36 +319,36 @@ bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
     return true;
   }
   RefillCounter();
-  const double quantum = config_.delay_quantum;
-  const double w = pkt->window;
+  const Tokens quantum = Tokens::FromBytes(config_.delay_quantum);
+  const Tokens w = Tokens(static_cast<double>(pkt->window));
 
   if (w >= quantum) {
     // Full windows pass immediately but debit the counter, which throttles
     // the sub-MSS release rate so that the port's total allocation per slot
     // stays within the token value. Bound the debt so a long burst of large
     // windows cannot starve small flows indefinitely.
-    counter_bytes_ -= w;
+    counter_ -= w;
     debited_total_ += w;
-    const double floor = -config_.token_boost_cap * bdp_bytes();
+    const Tokens floor = -config_.token_boost_cap * bdp();
     counter_floor_lo_ = std::min(counter_floor_lo_, floor);
-    if (counter_bytes_ < floor) {
-      forgiven_total_ += floor - counter_bytes_;
-      counter_bytes_ = floor;
+    if (counter_ < floor) {
+      forgiven_total_ += floor - counter_;
+      counter_ = floor;
     }
     return true;
   }
 
   // Sub-MSS window: upgrade to one MSS if the counter affords it now (and
   // nobody is already waiting), otherwise park the ACK.
-  if (delay_queue_.empty() && counter_bytes_ >= quantum) {
-    pkt->window = config_.delay_quantum;
-    counter_bytes_ -= quantum;
+  if (delay_queue_.empty() && counter_ >= quantum) {
+    pkt->window = config_.delay_quantum.ToU32Saturating();
+    counter_ -= quantum;
     debited_total_ += quantum;
-    granted_mss_bytes_ += quantum;
+    granted_mss_ += quantum;
     return true;
   }
   if (delay_queue_.size() >= config_.delay_queue_limit) {
-    pkt->window = config_.delay_quantum;  // fail open rather than drop
+    pkt->window = config_.delay_quantum.ToU32Saturating();  // fail open rather than drop
     return true;
   }
   delay_queue_.push_back(ParkedAck{std::move(pkt), scheduler_->now()});
@@ -355,10 +361,10 @@ void TfcPortAgent::ScheduleRelease() {
   if (release_timer_.pending() || delay_queue_.empty()) {
     return;
   }
-  const double deficit = config_.delay_quantum - counter_bytes_;
+  const Tokens deficit = Tokens::FromBytes(config_.delay_quantum) - counter_;
   TimeNs wait = 0;
-  if (deficit > 0) {
-    wait = static_cast<TimeNs>(std::ceil(deficit / (config_.rho0 * bytes_per_ns_)));
+  if (deficit > Tokens(0.0)) {
+    wait = TimeNs(std::ceil(deficit.value() / (config_.rho0 * link_rate_.bytes_per_ns())));
   }
   // Never sleep past the park timeout: the release pass is also the expiry
   // pass, so a deeply indebted counter (full-window debt floor) must not
@@ -410,14 +416,14 @@ void TfcPortAgent::ReleaseParkedAcks() {
   ProfileScope prof(&switch_->network()->profiler(), release_site_);
   RefillCounter();
   ExpireAgedParkedAcks(scheduler_->now());
-  const double quantum = config_.delay_quantum;
-  while (!delay_queue_.empty() && counter_bytes_ >= quantum) {
+  const Tokens quantum = Tokens::FromBytes(config_.delay_quantum);
+  while (!delay_queue_.empty() && counter_ >= quantum) {
     PacketPtr pkt = std::move(delay_queue_.front().pkt);
     delay_queue_.pop_front();
-    pkt->window = config_.delay_quantum;
-    counter_bytes_ -= quantum;
+    pkt->window = config_.delay_quantum.ToU32Saturating();
+    counter_ -= quantum;
     debited_total_ += quantum;
-    granted_mss_bytes_ += quantum;
+    granted_mss_ += quantum;
     switch_->Forward(std::move(pkt));
   }
   ScheduleRelease();
@@ -455,28 +461,28 @@ void TfcPortAgent::WipeState(std::deque<PacketPtr>* lost) {
   slot_start_queue_bytes_ = 0;
   miss_k_ = 0;
 
-  // Allocation state. token_bytes_ derives from the freshly reset rtt_b.
-  token_bytes_ = bdp_bytes();
-  window_bytes_ = 0.0;
+  // Allocation state. token_ derives from the freshly reset rtt_b.
+  token_ = bdp();
+  window_ = Tokens(0.0);
   have_window_ = false;
   last_E_ = 0;
 
   // Arbiter counter and its conservation ledger restart from zero history.
   // counter_refill_time_ must move to now, or the first post-reboot refill
   // would credit the entire pre-reboot interval.
-  counter_bytes_ = config_.counter_cap_quanta * config_.delay_quantum;
-  counter_initial_ = counter_bytes_;
+  counter_ = config_.counter_cap_quanta * Tokens::FromBytes(config_.delay_quantum);
+  counter_initial_ = counter_;
   counter_refill_time_ = scheduler_->now();
-  refilled_total_ = 0.0;
-  overflow_total_ = 0.0;
-  debited_total_ = 0.0;
-  forgiven_total_ = 0.0;
-  counter_floor_lo_ = 0.0;
-  granted_mss_bytes_ = 0.0;
+  refilled_total_ = Tokens(0.0);
+  overflow_total_ = Tokens(0.0);
+  debited_total_ = Tokens(0.0);
+  forgiven_total_ = Tokens(0.0);
+  counter_floor_lo_ = Tokens(0.0);
+  granted_mss_ = Tokens(0.0);
 
   last_rho_ = 0.0;
-  token_bound_hi_ = std::max(config_.token_boost_cap * bdp_bytes(),
-                             static_cast<double>(config_.delay_quantum));
+  token_bound_hi_ = std::max(config_.token_boost_cap * bdp(),
+                             Tokens::FromBytes(config_.delay_quantum));
 
   // slots_completed_ / delayed_acks_ / failover counts are simulation-side
   // observability, not device registers: they survive so tests and metrics
@@ -489,42 +495,44 @@ void TfcPortAgent::WipeState(std::deque<PacketPtr>* lost) {
 // ---------------------------------------------------------------------------
 
 void TfcPortAgent::AuditInvariants(Auditor& audit) const {
-  const double quantum = config_.delay_quantum;
+  const double quantum = static_cast<double>(config_.delay_quantum.count());
   const double cap = config_.counter_cap_quanta * quantum;
 
   // Token conservation (Sec. 4.6): the arbiter counter must equal its
   // byte-exact ledger — initial credit plus refills, minus cap overflow and
   // grants, plus forgiven debt. Tolerance scales with ledger volume (each
-  // double add can lose ~1 ulp).
-  const double expected = counter_initial_ + refilled_total_ - overflow_total_ -
-                          debited_total_ + forgiven_total_;
-  const double tol =
-      1e-6 * (1.0 + refilled_total_ + debited_total_ + overflow_total_ + forgiven_total_);
-  audit.CheckNear(counter_bytes_, expected, tol, "counter==ledger balance");
+  // double add can lose ~1 ulp). The ledger is held in Tokens; the audit
+  // compares the underlying doubles through the named .value() escape.
+  const double expected = counter_initial_.value() + refilled_total_.value() -
+                          overflow_total_.value() - debited_total_.value() +
+                          forgiven_total_.value();
+  const double tol = 1e-6 * (1.0 + refilled_total_.value() + debited_total_.value() +
+                             overflow_total_.value() + forgiven_total_.value());
+  audit.CheckNear(counter_.value(), expected, tol, "counter==ledger balance");
 
   // Counter bounds: never above the cap (burst bound), never below the
   // lowest full-window debt floor actually applied. (The floor is a function
   // of rtt_b, which min-corrects downward over time — auditing against the
   // *current* floor would flag historical, then-legal debt.)
-  audit.CheckLe(counter_bytes_, cap + tol, "counter<=cap");
-  audit.CheckGe(counter_bytes_, counter_floor_lo_ - tol, "counter>=debt floor");
+  audit.CheckLe(counter_.value(), cap + tol, "counter<=cap");
+  audit.CheckGe(counter_.value(), counter_floor_lo_.value() - tol, "counter>=debt floor");
 
   // Sub-MSS grants are paid for: every admitted quantum was debited, so
-  // granted bytes can never exceed what the allocator made available.
-  audit.CheckLe(granted_mss_bytes_, counter_initial_ + refilled_total_ + tol,
+  // granted tokens can never exceed what the allocator made available.
+  audit.CheckLe(granted_mss_.value(), counter_initial_.value() + refilled_total_.value() + tol,
                 "granted<=initial+refilled");
 
   // Token allocator (Secs. 4.4-4.5): positive token within the bound used
   // at its last clamp; window derived from it with E >= 1 consumers.
-  audit.Check(token_bytes_ > 0.0, "token>0");
+  audit.Check(token_ > Tokens(0.0), "token>0");
   // Gate on have_window_, not the cumulative slot count: a state wipe
   // clears the per-boot allocation state (rho, window) but deliberately
   // preserves slots_completed_ as a lifetime statistic.
   if (have_window_) {
-    audit.CheckLe(token_bytes_, token_bound_hi_ * (1.0 + 1e-9), "token<=boost cap");
-    audit.CheckGe(token_bytes_, quantum * (1.0 - 1e-9), "token>=one quantum");
-    audit.CheckGe(last_rho_, config_.rho_floor, "rho>=floor");
-    audit.CheckLe(window_bytes_, token_bytes_ * (1.0 + 1e-9), "window<=token");
+    audit.CheckLe(token_.value(), token_bound_hi_.value() * (1.0 + 1e-9), "token<=boost cap");
+    audit.CheckGe(token_.value(), quantum * (1.0 - 1e-9), "token>=one quantum");
+    audit.CheckGe(last_rho_.value(), config_.rho_floor, "rho>=floor");
+    audit.CheckLe(window_.value(), token_.value() * (1.0 + 1e-9), "window<=token");
   }
   audit.CheckGe(E_, 1, "effective flows>=1");
   audit.CheckGe(synfin_count_, 0, "synfin count>=0");

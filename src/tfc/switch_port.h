@@ -27,6 +27,7 @@
 #include "src/net/switch.h"
 #include "src/sim/audit.h"
 #include "src/sim/timer.h"
+#include "src/sim/units.h"
 #include "src/tfc/config.h"
 
 namespace tfc {
@@ -51,9 +52,9 @@ class TfcPortAgent : public PortAgent {
     TimeNs rtt_m;      // instantaneous slot length
     TimeNs rtt_b;      // running min RTT (no-queueing estimate)
     int effective_flows;  // E[n]
-    double rho;        // measured utilization during the slot
-    double token_bytes;
-    double window_bytes;
+    Ratio rho;         // measured utilization during the slot
+    Tokens token;      // T[n] after EWMA + clamps
+    Tokens window;     // W[n+1] = T[n]/E[n]
   };
   std::function<void(const SlotInfo&)> on_slot;
 
@@ -61,8 +62,11 @@ class TfcPortAgent : public PortAgent {
   TimeNs rtt_b() const { return rttb_; }
   TimeNs rtt_m() const { return rttm_last_; }
   int last_effective_flows() const { return last_E_; }
-  double token_bytes() const { return token_bytes_; }
-  double window_bytes() const { return window_bytes_; }
+  Tokens token() const { return token_; }
+  Tokens window() const { return window_; }
+  // Raw-double views for stats/test assertions (the named escape hatch).
+  double token_bytes() const { return token_.value(); }  // lint:allow units
+  double window_bytes() const { return window_.value(); }  // lint:allow units
   bool has_window() const { return have_window_; }
   int delimiter_flow() const { return delimiter_flow_; }
   uint64_t slots_completed() const { return slots_completed_; }
@@ -100,13 +104,13 @@ class TfcPortAgent : public PortAgent {
   // path: the grant can never be used).
   void PurgeParkedAcks(int flow_id);
   void DropParkedAck(PacketPtr pkt);
-  double bdp_bytes() const;  // c · rtt_b in bytes
+  Tokens bdp() const;  // c · rtt_b (fractional bytes)
 
   Switch* switch_;
   Port* port_;
   TfcSwitchConfig config_;
   Scheduler* scheduler_;
-  double bytes_per_ns_;  // link rate in bytes per nanosecond
+  BitsPerSec link_rate_;  // the guarded port's line rate c
 
   // Slot / delimiter state.
   int delimiter_flow_ = -1;
@@ -121,14 +125,14 @@ class TfcPortAgent : public PortAgent {
   TimeNs rttm_last_ = 0;
   int E_ = 1;
   int synfin_count_ = 0;  // only maintained in FlowCountMode::kSynFin
-  uint64_t arrived_wire_bytes_ = 0;
-  uint64_t slot_start_queue_bytes_ = 0;
+  Bytes arrived_wire_bytes_ = 0;
+  Bytes slot_start_queue_bytes_ = 0;
   int miss_k_ = 0;
   Timer failover_timer_;
 
   // Allocation state.
-  double token_bytes_;
-  double window_bytes_ = 0.0;
+  Tokens token_;
+  Tokens window_;
   bool have_window_ = false;
   int last_E_ = 0;
   uint64_t slots_completed_ = 0;
@@ -138,7 +142,7 @@ class TfcPortAgent : public PortAgent {
     PacketPtr pkt;
     TimeNs parked_at;
   };
-  double counter_bytes_;
+  Tokens counter_;
   TimeNs counter_refill_time_ = 0;
   std::deque<ParkedAck> delay_queue_;
   Timer release_timer_;
@@ -149,22 +153,24 @@ class TfcPortAgent : public PortAgent {
   uint64_t delimiter_failovers_ = 0;
   uint64_t state_wipes_ = 0;
 
-  // Token-conservation ledger (audited): every byte entering or leaving
-  // counter_bytes_ is recorded, so the auditor can re-derive the counter
-  // from the ledger and verify that bytes granted never exceed bytes the
-  // allocator made available:
+  // Token-conservation ledger (audited): every token entering or leaving
+  // counter_ is recorded, so the auditor can re-derive the counter from the
+  // ledger and verify that tokens granted never exceed tokens the allocator
+  // made available:
   //   counter == initial + refilled - overflow - debited + forgiven.
-  double counter_initial_;        // the construction-time counter value
-  double refilled_total_ = 0.0;   // RefillCounter additions (at rho0 * c)
-  double overflow_total_ = 0.0;   // refill discarded at the counter cap
-  double debited_total_ = 0.0;    // grants charged (full windows + quanta)
-  double forgiven_total_ = 0.0;   // debt discarded at the counter floor
-  double counter_floor_lo_ = 0.0;  // lowest debt floor ever applied
-  double granted_mss_bytes_ = 0;  // sub-MSS upgrades admitted (paper Sec. 4.6)
+  // All entries are Tokens: the dimension check is the point — Bytes of
+  // measured traffic only enter through Tokens::FromBytes.
+  Tokens counter_initial_;      // the construction-time counter value
+  Tokens refilled_total_;       // RefillCounter additions (at rho0 * c)
+  Tokens overflow_total_;       // refill discarded at the counter cap
+  Tokens debited_total_;        // grants charged (full windows + quanta)
+  Tokens forgiven_total_;       // debt discarded at the counter floor
+  Tokens counter_floor_lo_;     // lowest debt floor ever applied
+  Tokens granted_mss_;          // sub-MSS upgrades admitted (paper Sec. 4.6)
 
   // Observation state for the auditor.
-  double last_rho_ = 0.0;
-  double token_bound_hi_;  // the upper clamp applied at the last EndSlot
+  Ratio last_rho_ = 0.0;
+  Tokens token_bound_hi_;  // the upper clamp applied at the last EndSlot
 
   // Shared profiler sites ("tfc.release_parked", "tfc.failover").
   ProfileSite* release_site_ = nullptr;

@@ -6,7 +6,7 @@
 
 namespace tfc {
 
-TestbedTopology BuildTestbed(Network& net, const LinkOptions& opts, uint64_t bps,
+TestbedTopology BuildTestbed(Network& net, const LinkOptions& opts, BitsPerSec bps,
                              TimeNs link_delay) {
   TestbedTopology topo;
   for (int i = 0; i < 4; ++i) {
@@ -29,7 +29,7 @@ TestbedTopology BuildTestbed(Network& net, const LinkOptions& opts, uint64_t bps
 }
 
 MultiBottleneckTopology BuildMultiBottleneck(Network& net, const LinkOptions& opts,
-                                             uint64_t bps, TimeNs link_delay) {
+                                             BitsPerSec bps, TimeNs link_delay) {
   MultiBottleneckTopology topo;
   topo.s1 = net.AddSwitch("S1");
   topo.s2 = net.AddSwitch("S2");
@@ -46,7 +46,7 @@ MultiBottleneckTopology BuildMultiBottleneck(Network& net, const LinkOptions& op
   return topo;
 }
 
-StarTopology BuildStar(Network& net, int num_hosts, const LinkOptions& opts, uint64_t bps,
+StarTopology BuildStar(Network& net, int num_hosts, const LinkOptions& opts, BitsPerSec bps,
                        TimeNs link_delay) {
   StarTopology topo;
   topo.sw = net.AddSwitch("S");
@@ -60,8 +60,8 @@ StarTopology BuildStar(Network& net, int num_hosts, const LinkOptions& opts, uin
 }
 
 LeafSpineTopology BuildLeafSpine(Network& net, int racks, int hosts_per_rack,
-                                 const LinkOptions& opts, uint64_t host_bps,
-                                 uint64_t uplink_bps, TimeNs link_delay) {
+                                 const LinkOptions& opts, BitsPerSec host_bps,
+                                 BitsPerSec uplink_bps, TimeNs link_delay) {
   LeafSpineTopology topo;
   topo.spine = net.AddSwitch("spine");
   for (int r = 0; r < racks; ++r) {
@@ -81,7 +81,7 @@ LeafSpineTopology BuildLeafSpine(Network& net, int racks, int hosts_per_rack,
   return topo;
 }
 
-FatTreeTopology BuildFatTree(Network& net, int k, const LinkOptions& opts, uint64_t bps,
+FatTreeTopology BuildFatTree(Network& net, int k, const LinkOptions& opts, BitsPerSec bps,
                              TimeNs link_delay) {
   TFC_CHECK(k >= 2 && k % 2 == 0);
   const int half = k / 2;

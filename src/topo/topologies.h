@@ -22,7 +22,7 @@ struct TestbedTopology {
   std::vector<Switch*> switches;  // NF0..NF3
 };
 TestbedTopology BuildTestbed(Network& net, const LinkOptions& opts = LinkOptions(),
-                             uint64_t bps = kGbps, TimeNs link_delay = Microseconds(5));
+                             BitsPerSec bps = kGbps, TimeNs link_delay = Microseconds(5));
 
 // Paper Fig. 5: work-conserving scenario. Host 1 -- S1 -- S2 -- {2, 3, 4}.
 // Bottleneck A: S1->S2 uplink; bottleneck B: S2->host3 downlink.
@@ -36,7 +36,7 @@ struct MultiBottleneckTopology {
 };
 MultiBottleneckTopology BuildMultiBottleneck(Network& net,
                                              const LinkOptions& opts = LinkOptions(),
-                                             uint64_t bps = kGbps,
+                                             BitsPerSec bps = kGbps,
                                              TimeNs link_delay = Microseconds(5));
 
 // Single-switch star: n hosts on one switch — the incast micro-topology
@@ -46,7 +46,7 @@ struct StarTopology {
   Switch* sw;
 };
 StarTopology BuildStar(Network& net, int num_hosts, const LinkOptions& opts = LinkOptions(),
-                       uint64_t bps = kGbps, TimeNs link_delay = Microseconds(5));
+                       BitsPerSec bps = kGbps, TimeNs link_delay = Microseconds(5));
 
 // Paper Sec. 6.2.2: two-tier tree for the large-scale benchmark — `racks`
 // leaf switches, each with `hosts_per_rack` servers on 1 Gbps downlinks and
@@ -60,7 +60,7 @@ struct LeafSpineTopology {
 };
 LeafSpineTopology BuildLeafSpine(Network& net, int racks, int hosts_per_rack,
                                  const LinkOptions& opts = LinkOptions(),
-                                 uint64_t host_bps = kGbps, uint64_t uplink_bps = 10 * kGbps,
+                                 BitsPerSec host_bps = kGbps, BitsPerSec uplink_bps = 10 * kGbps,
                                  TimeNs link_delay = Microseconds(20));
 
 // Three-tier k-ary fat tree (Al-Fares et al., referenced by the paper as
@@ -81,7 +81,7 @@ struct FatTreeTopology {
   }
 };
 FatTreeTopology BuildFatTree(Network& net, int k, const LinkOptions& opts = LinkOptions(),
-                             uint64_t bps = kGbps, TimeNs link_delay = Microseconds(5));
+                             BitsPerSec bps = kGbps, TimeNs link_delay = Microseconds(5));
 
 }  // namespace tfc
 

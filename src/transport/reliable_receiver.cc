@@ -6,7 +6,7 @@
 namespace tfc {
 
 ReliableReceiver::ReliableReceiver(Network* network, Host* local, int flow_id,
-                                   uint64_t advertised_window, uint32_t ack_every,
+                                   Bytes advertised_window, uint32_t ack_every,
                                    TimeNs delayed_ack_timeout)
     : network_(network),
       local_(local),
@@ -130,8 +130,7 @@ void ReliableReceiver::SendAck(const Packet& cause, PacketType type) {
 
 void ReliableReceiver::DecorateAck(const Packet& data, Packet& ack) {
   ack.ecn_echo = data.ecn_ce;
-  ack.window = static_cast<uint32_t>(
-      std::min<uint64_t>(advertised_window_, kWindowInfinite));
+  ack.window = std::min(advertised_window_, Bytes(kWindowInfinite)).ToU32Saturating();
 }
 
 }  // namespace tfc

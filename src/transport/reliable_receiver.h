@@ -26,14 +26,16 @@ class Network;
 
 class ReliableReceiver : public Endpoint {
  public:
-  ReliableReceiver(Network* network, Host* local, int flow_id, uint64_t advertised_window,
+  ReliableReceiver(Network* network, Host* local, int flow_id, Bytes advertised_window,
                    uint32_t ack_every = 1, TimeNs delayed_ack_timeout = Microseconds(200));
   ~ReliableReceiver() override;
 
   void OnReceive(PacketPtr pkt) override;
 
-  // In-order payload bytes delivered to the application so far.
-  uint64_t delivered_bytes() const { return rcv_next_; }
+  // In-order payload bytes delivered to the application so far — a
+  // sequence-space position, so it stays raw uint64 like the rest of
+  // seq space.
+  uint64_t delivered_bytes() const { return rcv_next_; }  // lint:allow units
 
   // Number of ACK packets this receiver has emitted.
   uint64_t acks_sent() const { return acks_sent_; }
@@ -49,7 +51,7 @@ class ReliableReceiver : public Endpoint {
   // Base behaviour: echo ECN CE, advertise the receive window.
   virtual void DecorateAck(const Packet& data, Packet& ack);
 
-  uint64_t advertised_window() const { return advertised_window_; }
+  Bytes advertised_window() const { return advertised_window_; }
 
  private:
   void HandleData(const Packet& pkt);
@@ -59,7 +61,7 @@ class ReliableReceiver : public Endpoint {
   Network* network_;
   Host* local_;
   int flow_id_;
-  uint64_t advertised_window_;
+  Bytes advertised_window_;
   uint32_t ack_every_;
   TimeNs delayed_ack_timeout_;
 

@@ -59,12 +59,12 @@ void ReliableSender::Start() {
   RestartRtoTimer();
 }
 
-void ReliableSender::Write(uint64_t bytes) {
+void ReliableSender::Write(Bytes bytes) {
   TFC_CHECK(!close_requested_);
   if (bytes == 0) {
     return;
   }
-  write_goal_ += bytes;
+  write_goal_ += static_cast<uint64_t>(bytes.count());
   stats_.bytes_goal = write_goal_;
   drained_notified_ = false;
   OnWrite();
@@ -180,7 +180,7 @@ void ReliableSender::SampleRtt(TimeNs sample) {
     srtt_ = sample;
     rttvar_ = sample / 2;
   } else {
-    const TimeNs err = std::abs(srtt_ - sample);
+    const TimeNs err = std::abs((srtt_ - sample).count());
     rttvar_ = (3 * rttvar_ + err) / 4;
     srtt_ = (7 * srtt_ + sample) / 8;
   }
@@ -229,7 +229,7 @@ void ReliableSender::HandleAck(PacketPtr pkt) {
   }
 
   if (pkt->ack > snd_una_) {
-    const uint64_t newly = pkt->ack - snd_una_;
+    const Bytes newly = Bytes(static_cast<int64_t>(pkt->ack - snd_una_));
     snd_una_ = pkt->ack;
     TFC_CHECK_LE(snd_una_, write_goal_);
     // After a go-back-N rewind, an ACK for old in-flight data can overtake

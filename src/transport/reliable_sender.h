@@ -44,7 +44,7 @@ struct TransportConfig {
   TimeNs rto_max = Seconds(60);
   TimeNs rto_initial = Milliseconds(200);
   uint32_t dupack_threshold = 3;
-  uint64_t receive_window = 4 * 1024 * 1024;  // advertised window (payload bytes)
+  Bytes receive_window = 4 * 1024 * 1024;     // advertised window (payload bytes)
 
   // Delayed ACKs: acknowledge every Nth in-order data packet, flushing
   // after `delayed_ack_timeout` if no further data arrives. 1 = per-packet
@@ -73,7 +73,7 @@ class ReliableSender : public Endpoint {
 
   // Appends `bytes` to the transmit goal. May be called before Start() and
   // repeatedly afterwards (persistent connections).
-  void Write(uint64_t bytes);
+  void Write(Bytes bytes);
 
   // Requests connection close: a FIN goes out once all written bytes are
   // acknowledged.
@@ -87,12 +87,13 @@ class ReliableSender : public Endpoint {
   State state() const { return state_; }
   Host* local() const { return local_; }
   Host* remote() const { return remote_; }
-  uint64_t inflight_bytes() const { return snd_next_ - snd_una_; }
+  Bytes inflight_bytes() const { return Bytes(static_cast<int64_t>(snd_next_ - snd_una_)); }
   uint64_t write_goal() const { return write_goal_; }
-  uint64_t acked_bytes() const { return snd_una_; }
+  // Sequence-space positions, not sizes: seq space stays raw uint64.
+  uint64_t acked_bytes() const { return snd_una_; }  // lint:allow units
   bool drained() const { return snd_una_ == write_goal_; }
   ReliableReceiver& receiver() { return *receiver_; }
-  uint64_t delivered_bytes() const { return receiver_->delivered_bytes(); }
+  uint64_t delivered_bytes() const { return receiver_->delivered_bytes(); }  // lint:allow units
   TimeNs srtt() const { return srtt_; }
   TimeNs rto() const { return rto_; }
   // Most recent raw RTT sample (0 before the first ACK).
@@ -109,7 +110,7 @@ class ReliableSender : public Endpoint {
   // --- congestion-control hooks ---
 
   // May the sender emit another segment given current in-flight payload?
-  virtual bool CanSendMore(uint64_t inflight_payload) const = 0;
+  virtual bool CanSendMore(Bytes inflight_payload) const = 0;
 
   // Whether the SYN carries the TFC round mark.
   virtual bool MarkSyn() const { return false; }
@@ -125,7 +126,7 @@ class ReliableSender : public Endpoint {
   virtual void OnAckHeader(const Packet& ack) { (void)ack; }
 
   // Invoked when an ACK advanced snd_una by `newly_acked` bytes.
-  virtual void OnAckedData(const Packet& ack, uint64_t newly_acked) {
+  virtual void OnAckedData(const Packet& ack, Bytes newly_acked) {
     (void)ack;
     (void)newly_acked;
   }
@@ -134,10 +135,10 @@ class ReliableSender : public Endpoint {
   virtual void OnDuplicateAck() {}
 
   // Invoked when the dup-ACK threshold trips (before the fast retransmit).
-  virtual void OnEnterRecovery(uint64_t flight_size) { (void)flight_size; }
+  virtual void OnEnterRecovery(Bytes flight_size) { (void)flight_size; }
 
   // Invoked on a partial ACK while in recovery (NewReno hole repair follows).
-  virtual void OnPartialAck(uint64_t newly_acked) { (void)newly_acked; }
+  virtual void OnPartialAck(Bytes newly_acked) { (void)newly_acked; }
 
   // Invoked when recovery completes (snd_una reached the recovery point).
   virtual void OnExitRecovery() {}

@@ -95,11 +95,11 @@ void BenchmarkTrafficApp::LaunchBackground() {
   if (dst >= src) {
     ++dst;
   }
-  const uint64_t bytes = std::max<uint64_t>(100, static_cast<uint64_t>(kSizes.Sample(net_->rng())));
+  const Bytes bytes = std::max<uint64_t>(100, static_cast<uint64_t>(kSizes.Sample(net_->rng())));
   StartFlow(hosts_[src], hosts_[dst], bytes, /*is_query=*/false);
 }
 
-void BenchmarkTrafficApp::StartFlow(Host* src, Host* dst, uint64_t bytes, bool is_query) {
+void BenchmarkTrafficApp::StartFlow(Host* src, Host* dst, Bytes bytes, bool is_query) {
   auto flow = suite_.MakeSender(net_, src, dst);
   ReliableSender* raw = flow.get();
   flow->Write(bytes);

@@ -34,7 +34,7 @@ struct BenchmarkTrafficConfig {
   TimeNs query_interarrival = Milliseconds(10);
   // Servers responding per query (0 = all hosts except the aggregator).
   int query_fanin = 0;
-  uint64_t query_response_bytes = 2 * 1024;
+  Bytes query_response_bytes = 2 * 1024;
   // Mean interarrival of background flows (Poisson). 0 disables.
   TimeNs background_interarrival = Milliseconds(2);
   // Stop generating new flows at this time (flows in flight still finish).
@@ -58,7 +58,7 @@ class BenchmarkTrafficApp {
   void ScheduleNextBackground();
   void LaunchQuery();
   void LaunchBackground();
-  void StartFlow(Host* src, Host* dst, uint64_t bytes, bool is_query);
+  void StartFlow(Host* src, Host* dst, Bytes bytes, bool is_query);
 
   Network* net_;
   ProtocolSuite suite_;

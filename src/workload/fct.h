@@ -11,6 +11,7 @@
 
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
+#include "src/sim/units.h"
 
 namespace tfc {
 
@@ -21,9 +22,9 @@ inline constexpr std::array<uint64_t, kNumSizeBins - 1> kSizeBinEdges = {
 inline constexpr std::array<const char*, kNumSizeBins> kSizeBinLabels = {
     "<1KB", "1-10KB", "10-100KB", "100KB-1MB", "1-10MB", ">10MB"};
 
-inline int SizeBin(uint64_t bytes) {
+inline int SizeBin(Bytes bytes) {
   for (int i = 0; i < kNumSizeBins - 1; ++i) {
-    if (bytes < kSizeBinEdges[static_cast<size_t>(i)]) {
+    if (bytes < Bytes(kSizeBinEdges[static_cast<size_t>(i)])) {
       return i;
     }
   }
@@ -33,7 +34,7 @@ inline int SizeBin(uint64_t bytes) {
 class FctRecorder {
  public:
   void AddQuery(TimeNs fct) { query_.Add(ToMicroseconds(fct)); }
-  void AddBackground(uint64_t bytes, TimeNs fct) {
+  void AddBackground(Bytes bytes, TimeNs fct) {
     background_[static_cast<size_t>(SizeBin(bytes))].Add(ToMicroseconds(fct));
   }
 

@@ -51,7 +51,7 @@ void IncastApp::OnFlowDrained(size_t flow_index) {
   TFC_CHECK_GT(pending_in_round_, 0);
   const TimeNs fct = net_->scheduler().now() - round_start_;
   block_fcts_[flow_index].Add(ToSeconds(fct));
-  fct_hist_->Record(static_cast<uint64_t>(std::max<TimeNs>(fct / kMicrosecond, 0)));
+  fct_hist_->Record(static_cast<uint64_t>(std::max<int64_t>(fct / kMicrosecond, 0)));
   if (--pending_in_round_ > 0) {
     return;
   }

@@ -21,7 +21,7 @@
 namespace tfc {
 
 struct IncastConfig {
-  uint64_t block_bytes = 256 * 1024;
+  Bytes block_bytes = 256 * 1024;
   int rounds = 50;
   // One-way request notification delay (request packet path latency).
   TimeNs request_delay = Microseconds(30);
@@ -44,7 +44,7 @@ class IncastApp {
   TimeNs finish_time() const { return finish_time_; }
 
   // Application goodput: payload bits delivered per second of elapsed time.
-  double goodput_bps() const;
+  double goodput_bps() const;  // lint:allow units (measured, fractional)
 
   uint64_t total_timeouts() const;
   // Worst per-flow average timeouts per block (paper Fig. 15b metric).

@@ -21,7 +21,7 @@ class PersistentFlow {
   // packet in the same RTT — a periodic synchronized burst that is an
   // artifact of the chunking, not of the protocol under test.
   explicit PersistentFlow(std::unique_ptr<ReliableSender> sender,
-                          uint64_t chunk_bytes = 64 * kMssBytes)
+                          Bytes chunk_bytes = 64 * kMssBytes)
       : sender_(std::move(sender)), chunk_bytes_(chunk_bytes) {
     // Refill as soon as the transmit buffer runs dry (not when it drains of
     // ACKs), so an active flow never leaves a bubble in the pipe.
@@ -52,11 +52,11 @@ class PersistentFlow {
 
   bool active() const { return active_; }
   ReliableSender& sender() { return *sender_; }
-  uint64_t delivered_bytes() const { return sender_->delivered_bytes(); }
+  uint64_t delivered_bytes() const { return sender_->delivered_bytes(); }  // lint:allow units
 
  private:
   std::unique_ptr<ReliableSender> sender_;
-  uint64_t chunk_bytes_;
+  Bytes chunk_bytes_;
   bool active_ = true;
 };
 

@@ -50,7 +50,7 @@ struct ProtocolSuite {
   }
 
   // ECN threshold for LinkOptions (pass when building the topology).
-  uint64_t EcnThresholdBytes(uint64_t link_bps = kGbps) const {
+  Bytes EcnThresholdBytes(BitsPerSec link_bps = kGbps) const {
     if (protocol != Protocol::kDctcp) {
       return 0;
     }

@@ -52,7 +52,7 @@ class QueueSampler {
 // in bits per second per interval.
 class GoodputSampler {
  public:
-  using ByteCounter = std::function<uint64_t()>;
+  using ByteCounter = std::function<Bytes()>;
 
   GoodputSampler(Scheduler* scheduler, ByteCounter counter, TimeNs interval)
       : counter_(std::move(counter)),
@@ -65,14 +65,14 @@ class GoodputSampler {
   void Stop() { timer_.Stop(); }
 
   // Mean rate over all samples collected so far (bps).
-  double mean_bps() const { return stats.mean(); }
+  double mean_bps() const { return stats.mean(); }  // lint:allow units
 
   TimeSeries series;  // bps per interval
   RunningStats stats;
 
  private:
   void Tick(TimeNs now) {
-    const uint64_t bytes = counter_();
+    const Bytes bytes = counter_();
     const double bps =
         static_cast<double>(bytes - last_bytes_) * 8.0 / ToSeconds(interval_);
     last_bytes_ = bytes;
@@ -82,7 +82,7 @@ class GoodputSampler {
 
   ByteCounter counter_;
   TimeNs interval_;
-  uint64_t last_bytes_ = 0;
+  Bytes last_bytes_ = 0;
   PeriodicTimer timer_;
 };
 

@@ -17,7 +17,7 @@
 namespace tfc {
 
 struct ShuffleConfig {
-  uint64_t block_bytes = 1024 * 1024;  // per (src, dst) pair
+  Bytes block_bytes = 1024 * 1024;  // per (src, dst) pair
 };
 
 class ShuffleApp {
@@ -37,7 +37,7 @@ class ShuffleApp {
   // Shuffle duration so far (or final, once finished).
   TimeNs elapsed() const;
   // Aggregate goodput: total payload moved / elapsed.
-  double goodput_bps() const;
+  double goodput_bps() const;  // lint:allow units (measured, fractional)
   uint64_t total_timeouts() const;
 
   const std::vector<std::unique_ptr<ReliableSender>>& flows() const { return flows_; }

@@ -120,7 +120,7 @@ std::unique_ptr<ReliableReceiver> XcpSender::MakeReceiver() {
                                        transport_config().delayed_ack_timeout);
 }
 
-bool XcpSender::CanSendMore(uint64_t inflight_payload) const {
+bool XcpSender::CanSendMore(Bytes inflight_payload) const {
   return static_cast<double>(inflight_payload) < cwnd_;
 }
 
@@ -138,7 +138,9 @@ void XcpSender::OnRetransmitTimeout() {
 
 void XcpSender::DecorateData(Packet& pkt, bool retransmission) {
   (void)retransmission;
-  pkt.cwnd_hint = static_cast<uint32_t>(cwnd_);
+  // cwnd_ is unbounded above by receive_window only; at giant windows the
+  // old unguarded double->uint32 cast was UB. Saturate instead.
+  pkt.cwnd_hint = SaturatingU32(cwnd_);
   pkt.rtt_hint = srtt();
   pkt.xcp_feedback = 0.0;
   pkt.xcp_feedback_set = false;

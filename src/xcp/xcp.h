@@ -97,7 +97,7 @@ class XcpSender : public ReliableSender {
   double cwnd_bytes() const { return cwnd_; }
 
  protected:
-  bool CanSendMore(uint64_t inflight_payload) const override;
+  bool CanSendMore(Bytes inflight_payload) const override;
   void OnAckHeader(const Packet& ack) override;
   void OnRetransmitTimeout() override;
   void DecorateData(Packet& pkt, bool retransmission) override;

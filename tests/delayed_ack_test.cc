@@ -84,7 +84,7 @@ TEST(DelayedAckTest, OutOfOrderDataStillTriggersImmediateDupAcks) {
   flow.Start();
   // Briefly break the bottleneck mid-transfer to lose a handful of packets.
   Port* bottleneck = Network::FindPort(d.s, d.b);
-  const uint64_t limit = bottleneck->buffer_limit();
+  const Bytes limit = bottleneck->buffer_limit();
   d.net.scheduler().ScheduleAt(Milliseconds(5), [&] { bottleneck->set_buffer_limit(10); });
   d.net.scheduler().ScheduleAt(Milliseconds(5) + Microseconds(50),
                                [&] { bottleneck->set_buffer_limit(limit); });

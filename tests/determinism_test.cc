@@ -53,7 +53,7 @@ Fingerprint RunFingerprint(uint64_t seed, Protocol protocol) {
   fp.events = net.scheduler().executed();
   for (const auto& node : net.nodes()) {
     for (const auto& port : node->ports()) {
-      fp.delivered += port->tx_bytes();
+      fp.delivered += static_cast<uint64_t>(port->tx_bytes().count());
       fp.drops += port->drops();
     }
   }
@@ -110,7 +110,7 @@ Fingerprint RunFaultFingerprint(uint64_t seed) {
              inject.agent_wipes();
   for (const auto& node : net.nodes()) {
     for (const auto& port : node->ports()) {
-      fp.delivered += port->tx_bytes();
+      fp.delivered += static_cast<uint64_t>(port->tx_bytes().count());
       fp.drops += port->drops();
     }
   }

@@ -146,7 +146,7 @@ TEST(FatTreeTest, PermutationTrafficUsesMultiplePathsUnderTfc) {
   for (Switch* core : topo.cores) {
     uint64_t tx = 0;
     for (const auto& port : core->ports()) {
-      tx += port->tx_bytes();
+      tx += static_cast<uint64_t>(port->tx_bytes().count());
     }
     cores_used += tx > 0 ? 1 : 0;
   }

@@ -131,7 +131,7 @@ TEST_F(NewRenoTest, TwoDupAcksDoNotTriggerRetransmit) {
 TEST_F(NewRenoTest, ThirdDupAckTriggersFastRetransmitAndHalvesWindow) {
   fake_->Ack(1460);
   Drain();
-  const uint64_t inflight = sender_->inflight_bytes();
+  const Bytes inflight = sender_->inflight_bytes();
   for (int i = 0; i < 3; ++i) {
     fake_->Ack(1460);
   }

@@ -162,8 +162,8 @@ TEST(RcpTest, FlowJoinBuildsQueueUnlikeTfc) {
     return bottleneck->max_queue_bytes();
   };
 
-  const uint64_t tfc_queue = join_queue(true);
-  const uint64_t rcp_queue = join_queue(false);
+  const Bytes tfc_queue = join_queue(true);
+  const Bytes rcp_queue = join_queue(false);
   EXPECT_GT(rcp_queue, 2 * tfc_queue);
 }
 

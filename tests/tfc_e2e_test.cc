@@ -33,7 +33,7 @@ struct Star {
   Host* receiver;
   std::vector<Host*> senders;
 
-  explicit Star(int num_senders, uint64_t bps = kGbps,
+  explicit Star(int num_senders, BitsPerSec bps = kGbps,
                 LinkOptions opts = LinkOptions(), uint64_t seed = 21)
       : net(seed),
         topo(BuildStar(net, num_senders + 1, opts, bps, Microseconds(5))) {
@@ -186,8 +186,8 @@ TEST(TfcE2eTest, WorkConservationAcrossTwoBottlenecks) {
   Port* s1_up = Network::FindPort(topo.s1, topo.s2);
   Port* s2_down = Network::FindPort(topo.s2, topo.h3);
   net.scheduler().RunUntil(Milliseconds(200));
-  const uint64_t up0 = s1_up->tx_bytes();
-  const uint64_t down0 = s2_down->tx_bytes();
+  const Bytes up0 = s1_up->tx_bytes();
+  const Bytes down0 = s2_down->tx_bytes();
   net.scheduler().RunUntil(Milliseconds(700));
   const double up_bps = static_cast<double>(s1_up->tx_bytes() - up0) * 8.0 / 0.5;
   const double down_bps = static_cast<double>(s2_down->tx_bytes() - down0) * 8.0 / 0.5;

@@ -155,7 +155,7 @@ TEST(TfcEndpointTest, ProbeRetriedWhenUnansweredAndFlowRecovers) {
   net.BuildRoutes();
   InstallTfcSwitches(net);
   Port* egress = Network::FindPort(sw, b);
-  const uint64_t original_limit = egress->buffer_limit();
+  const Bytes original_limit = egress->buffer_limit();
 
   TfcSender flow(&net, a, b, TfcHostConfig());
   flow.Write(kMssBytes);

@@ -179,7 +179,7 @@ TEST(SynFinCountingTest, RetransmittedSynAccumulatesPermanentError) {
   InstallTfcSwitches(net, config);
   Port* egress = Network::FindPort(sw, b);
   TfcPortAgent* agent = TfcPortAgent::FromPort(egress);
-  const uint64_t limit = egress->buffer_limit();
+  const Bytes limit = egress->buffer_limit();
 
   // Count the SYN at the switch, then lose it before delivery: shrink the
   // buffer for the receiver-facing... the SYN is already past. Instead we
@@ -189,7 +189,7 @@ TEST(SynFinCountingTest, RetransmittedSynAccumulatesPermanentError) {
   // reverse direction briefly — the sender retransmits the SYN, and the
   // switch counts it twice.
   Port* reverse = Network::FindPort(sw, a);
-  const uint64_t rlimit = reverse->buffer_limit();
+  const Bytes rlimit = reverse->buffer_limit();
   reverse->set_buffer_limit(10);  // SYNACK dropped
   TfcHostConfig host;
   host.transport.rto_min = Milliseconds(10);

@@ -139,7 +139,7 @@ TEST_F(TfcMathTest, LocalQueueWaitIsSubtractedFromRttb) {
     // Bypass the agent: enqueue directly so the prefill isn't slot traffic.
     egress_->Enqueue(std::move(pkt));
   }
-  const uint64_t backlog = egress_->queue_bytes();
+  const Bytes backlog = egress_->queue_bytes();
   ASSERT_EQ(backlog, 20u * 1518u);
 
   Rm(1);

@@ -17,7 +17,7 @@ struct Dumbbell {
   Host* b;
   Switch* s;
 
-  explicit Dumbbell(LinkOptions opts = LinkOptions(), uint64_t bps = kGbps,
+  explicit Dumbbell(LinkOptions opts = LinkOptions(), BitsPerSec bps = kGbps,
                     TimeNs delay = Microseconds(5))
       : net(7) {
     a = net.AddHost("a");

@@ -1,0 +1,53 @@
+// Negative-compile battery for src/sim/units.h.
+//
+// Each CASE_* macro enables exactly one expression that the unit layer must
+// REJECT at compile time; the CMake harness compiles this file once per case
+// with `-fsyntax-only` and registers the ctest entry WILL_FAIL, so a build
+// that starts accepting a banned conversion turns the test suite red. The
+// no-macro build is the control: every *sanctioned* conversion must keep
+// compiling, which guards against the opposite failure (the types becoming
+// so strict that migrated code breaks).
+
+#include <cstdint>
+
+#include "src/sim/units.h"
+
+namespace tfc {
+
+int Exercise() {
+  const Bytes b = 1500;
+  const TimeNs t = 120'000;
+  const Tokens tok(18'000.0);
+  const BitsPerSec rate = 1'000'000'000ull;
+
+#if defined(CASE_BYTES_PLUS_TIME)
+  // Cross-dimension addition does not exist: bytes + nanoseconds is
+  // physically meaningless.
+  auto bad = b + t;
+  (void)bad;
+#elif defined(CASE_TOKENS_TO_BYTES)
+  // Tokens are byte-denominated but represent a *claim*, not traffic:
+  // crossing the boundary must name Tokens::ToBytes(), never be implicit.
+  Bytes bad = tok;
+  (void)bad;
+#elif defined(CASE_BYTES_NARROWING)
+  // Narrowing out to a wire-format field must go through the checked
+  // ToU32Saturating(), never an implicit conversion.
+  uint32_t bad = b;
+  (void)bad;
+#else
+  // Control build: the sanctioned operations all compile.
+  const Tokens bdp = rate * t;             // rate x time -> fractional bytes
+  const TimeNs ser = b / rate;             // bytes / rate -> time
+  const Ratio rho = tok / bdp;             // tokens / tokens -> dimensionless
+  const Bytes floor_bytes = tok.ToBytes(); // explicit boundary crossing
+  const uint32_t wire = b.ToU32Saturating();
+  return static_cast<int>(ser.count() + floor_bytes.count()) +
+         static_cast<int>(rho.value()) + static_cast<int>(wire);
+#endif
+  return 0;
+}
+
+}  // namespace tfc
+
+int main() { return tfc::Exercise(); }

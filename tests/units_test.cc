@@ -1,0 +1,193 @@
+// src/sim/units.h — the strong unit types' arithmetic, conversion policy,
+// and checked narrowing. Everything here is also the bit-identity contract:
+// each operator must perform the same machine arithmetic as the raw code it
+// replaced (same operand order, same rounding), which the constexpr battery
+// pins down value by value.
+
+#include "src/sim/units.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/sim/time.h"
+
+namespace tfc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constexpr battery: everything evaluates at compile time.
+// ---------------------------------------------------------------------------
+
+static_assert(TimeNs(5) + TimeNs(7) == TimeNs(12));
+static_assert(TimeNs(5) - TimeNs(7) == TimeNs(-2));
+static_assert(-TimeNs(3) == TimeNs(-3));
+static_assert(TimeNs(6) * 4 == TimeNs(24));
+static_assert(3 * TimeNs(6) == TimeNs(18));
+static_assert(TimeNs(20) / 4 == TimeNs(5));
+static_assert(TimeNs(20) / TimeNs(6) == 3);      // integer count, truncating
+static_assert(TimeNs(20) % TimeNs(6) == TimeNs(2));
+static_assert(TimeNs(1) < TimeNs(2) && TimeNs(2) <= TimeNs(2));
+
+static_assert(Bytes(1500) + Bytes(38) == Bytes(1538));
+static_assert(Bytes(100) - Bytes(260) == Bytes(-160));  // signed differences
+static_assert(Bytes(1500) * 3 == Bytes(4500));
+static_assert(Bytes(4500) / 3 == Bytes(1500));
+static_assert(Bytes(4500) / Bytes(1500) == 3);
+static_assert(Bytes(10).count() == 10);
+
+static_assert(Tokens(10.0) + Tokens(2.5) == Tokens(12.5));
+static_assert(Tokens(10.0) - Tokens(2.5) == Tokens(7.5));
+static_assert(Tokens(10.0) * 0.5 == Tokens(5.0));
+static_assert(Tokens(10.0) / 4.0 == Tokens(2.5));
+static_assert(Tokens::FromBytes(Bytes(1500)).value() == 1500.0);
+static_assert(Tokens(1500.9).ToBytes() == Bytes(1500));  // truncates
+static_assert(double(Tokens(6.0) / Tokens(8.0)) == 0.75);
+
+static_assert(BitsPerSec(1'000'000'000ull).bytes_per_ns() == 1e9 / 8.0 / 1e9);
+static_assert(BitsPerSec(1'000'000'000ull).bytes_per_sec() == 1.25e8);
+static_assert((10 * BitsPerSec(1'000'000'000ull)).count() == 10'000'000'000ull);
+static_assert(BitsPerSec(2'000'000'000ull) / BitsPerSec(1'000'000'000ull) == 2.0);
+
+// The time.h constants survive the TimeNs promotion.
+static_assert(kMicrosecond == TimeNs(1'000));
+static_assert(kMillisecond == TimeNs(1'000'000));
+static_assert(kSecond == TimeNs(1'000'000'000));
+
+// Checked narrowing: in-range passes through, out-of-range saturates, and
+// NaN/negative clamp to zero (the old unguarded cast was UB for all three).
+static_assert(SaturatingU32(1234.0) == 1234u);
+static_assert(SaturatingU32(-5.0) == 0u);
+static_assert(SaturatingU32(5e12) == 0xffffffffu);
+static_assert(SaturatingU32(int64_t{-1}) == 0u);
+static_assert(SaturatingU32(int64_t{1} << 40) == 0xffffffffu);
+static_assert(Bytes(70'000).ToU32Saturating() == 70'000u);
+static_assert(Tokens(1e15).ToU32Saturating() == 0xffffffffu);
+
+// numeric_limits is specialized: the unspecialized primary template would
+// return TimeNs{} == 0 from max() — which silently zeroed the fault
+// injector's kNoStop sentinel during the migration (caught by the chaos
+// byte-identity gate, fixed by the specializations in units.h).
+static_assert(std::numeric_limits<TimeNs>::is_specialized);
+static_assert(std::numeric_limits<TimeNs>::max().count() ==
+              std::numeric_limits<int64_t>::max());
+static_assert(std::numeric_limits<TimeNs>::max() > TimeNs(0));
+static_assert(std::numeric_limits<Bytes>::max().count() ==
+              std::numeric_limits<int64_t>::max());
+static_assert(std::numeric_limits<Tokens>::max().value() ==
+              std::numeric_limits<double>::max());
+static_assert(std::numeric_limits<BitsPerSec>::max().count() ==
+              std::numeric_limits<uint64_t>::max());
+
+TEST(Units, SaturatingU32HandlesNaN) {
+  EXPECT_EQ(SaturatingU32(std::nan("")), 0u);
+  EXPECT_EQ(SaturatingU32(std::numeric_limits<double>::infinity()), 0xffffffffu);
+  EXPECT_EQ(SaturatingU32(-std::numeric_limits<double>::infinity()), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// rate x time and bytes / rate at the three deployed link speeds.
+// ---------------------------------------------------------------------------
+
+TEST(Units, RateTimesTimeMatchesRawDoubleMath) {
+  // The product must equal the exact expression the control plane used
+  // before the migration: bytes_per_ns * (double)ns.
+  const TimeNs rtt = Microseconds(160);
+  for (const BitsPerSec rate :
+       {kGbps, 10 * kGbps, 100 * kGbps, BitsPerSec(1'000'000ull)}) {
+    const double raw = (static_cast<double>(rate.count()) / 8.0 / 1e9) *
+                       static_cast<double>(rtt.count());
+    EXPECT_EQ((rate * rtt).value(), raw);
+    EXPECT_EQ((rtt * rate).value(), raw);
+  }
+  // Spot values: one BDP at 160 us.
+  EXPECT_DOUBLE_EQ((kGbps * rtt).value(), 20'000.0);
+  EXPECT_DOUBLE_EQ((10 * kGbps * rtt).value(), 200'000.0);
+  EXPECT_DOUBLE_EQ((100 * kGbps * rtt).value(), 2'000'000.0);
+}
+
+TEST(Units, BytesOverRateIsExactTruncatingSerialization) {
+  // 1538-byte frame: 12304 bits. 1 Gbps -> 12304 ns exactly;
+  // 10 Gbps -> 1230.4 ns, truncated; 100 Gbps -> 123.04 ns, truncated.
+  EXPECT_EQ(Bytes(1538) / kGbps, TimeNs(12304));
+  EXPECT_EQ(Bytes(1538) / (10 * kGbps), TimeNs(1230));
+  EXPECT_EQ(Bytes(1538) / (100 * kGbps), TimeNs(123));
+  // Minimum frame at 100G: 64B + 20B overhead would be sub-10ns territory —
+  // 84 * 8 * 1e9 / 1e11 = 6.72 -> 6 ns truncated.
+  EXPECT_EQ(Bytes(84) / (100 * kGbps), TimeNs(6));
+  // The 128-bit interior does not overflow even for absurd byte counts:
+  // (2^52 bytes * 8 bits) * 1e9 would overflow int64 mid-expression, but
+  // the result (2^52 * 8 ns at 1 Gbps) is exact.
+  EXPECT_EQ(Bytes(int64_t{1} << 52) / kGbps, TimeNs((int64_t{1} << 52) * 8));
+}
+
+TEST(Units, GiantBdpSaturatesInsteadOfUb) {
+  // 100 Gbps x 4 seconds is a ~50 GB "window": far beyond uint32. The wire
+  // stamp must clamp, not wrap (the PR 2 StampWindow bug class).
+  const Tokens bdp = (100 * kGbps) * Seconds(4.0);
+  EXPECT_GT(bdp.value(), 4.9e10);
+  EXPECT_EQ(bdp.ToU32Saturating(), 0xffffffffu);
+  // And the Bytes path as well.
+  EXPECT_EQ(bdp.ToBytes().ToU32Saturating(), 0xffffffffu);
+}
+
+// ---------------------------------------------------------------------------
+// Tokens ledger round-trip: the conservation arithmetic the delay arbiter
+// audits, done end to end in the strong types.
+// ---------------------------------------------------------------------------
+
+TEST(Units, TokenLedgerRoundTrip) {
+  const Tokens quantum = Tokens::FromBytes(Bytes(1538));
+  Tokens counter = 2.0 * quantum;  // construction-time cap
+  const Tokens initial = counter;
+  Tokens refilled(0.0), overflow(0.0), debited(0.0), forgiven(0.0);
+
+  // Refill beyond the cap: the excess is recorded as overflow.
+  const Tokens cap = 2.0 * quantum;
+  Tokens add(900.0);
+  counter += add;
+  refilled += add;
+  if (counter > cap) {
+    overflow += counter - cap;
+    counter = cap;
+  }
+  // Grant two sub-MSS upgrades.
+  for (int i = 0; i < 2; ++i) {
+    counter -= quantum;
+    debited += quantum;
+  }
+  // Debt floor: forgive anything below -1 BDP.
+  const Tokens floor(-20'000.0);
+  if (counter < floor) {
+    forgiven += floor - counter;
+    counter = floor;
+  }
+
+  const Tokens expected = initial + refilled - overflow - debited + forgiven;
+  EXPECT_DOUBLE_EQ(counter.value(), expected.value());
+  // The dimension check is the point: this arithmetic cannot silently mix
+  // in a Bytes or TimeNs operand — those expressions do not compile
+  // (tests/units_compile_fail/).
+}
+
+TEST(Units, RatioConvertsFreely) {
+  const Ratio rho = Tokens(18'000.0) / Tokens(20'000.0);
+  EXPECT_DOUBLE_EQ(rho, 0.9);
+  const double boosted = 0.97 / rho;  // the Eq. 7 token boost shape
+  EXPECT_NEAR(boosted, 1.0778, 1e-4);
+}
+
+TEST(Units, ExplicitEscapesMatchRawViews) {
+  const Bytes b = 123'456;
+  EXPECT_EQ(static_cast<double>(b), 123'456.0);
+  EXPECT_EQ(static_cast<int64_t>(b), 123'456);
+  const TimeNs t = Milliseconds(5);
+  EXPECT_EQ(t.count(), 5'000'000);
+  EXPECT_EQ(static_cast<double>(t), 5e6);
+  EXPECT_DOUBLE_EQ(ToSeconds(t), 0.005);
+}
+
+}  // namespace
+}  // namespace tfc

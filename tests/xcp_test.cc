@@ -125,7 +125,7 @@ TEST(XcpTest, RecoversAfterPathBreak) {
   flow.Start();
   s.net.scheduler().RunUntil(Milliseconds(50));
   Port* egress = Network::FindPort(s.topo.sw, s.topo.hosts[0]);
-  const uint64_t limit = egress->buffer_limit();
+  const Bytes limit = egress->buffer_limit();
   egress->set_buffer_limit(10);
   s.net.scheduler().RunUntil(Milliseconds(300));  // RTOs, cwnd collapses
   egress->set_buffer_limit(limit);

@@ -40,6 +40,15 @@ Rules enforced (see docs/correctness.md):
                   — a lock someone forgot to annotate: every Mutex declared
                   in src/ must have at least one TFC_GUARDED_BY /
                   TFC_PT_GUARDED_BY user naming it in the same file.
+  units           the quantity-carrying layers (src/sim, src/net, src/tfc,
+                  src/transport, src/topo, src/workload) are migrated to the
+                  strong unit types in src/sim/units.h: a declaration of a
+                  raw arithmetic type (double, uint64_t, ...) whose name is
+                  suffixed _bytes/_tokens/_ns/_bps is a dimension the type
+                  system can no longer see. Declare it as Bytes / Tokens /
+                  TimeNs / BitsPerSec instead. Wire-format boundaries
+                  (src/net/packet.h header fields) are allowlisted; named
+                  raw-view escapes carry `// lint:allow units`.
   recorder-hot    src/sim/telemetry.cc is hot-io allowlisted as a whole (it
                   is the exporter), but the recorder's per-tick path must
                   still stay string- and I/O-free: inside the brace-matched
@@ -120,6 +129,31 @@ HOT_IO_RE = re.compile(
     r"|(?<![A-Za-z0-9_:])(printf|fprintf|fputs|fwrite|puts)\s*\("
 )
 
+# units: in the migrated layers, a raw arithmetic declaration whose name
+# carries a unit suffix must be a strong type from src/sim/units.h. The
+# regex intentionally matches both variable and function declarations
+# ("double token_bytes;" and "double token_bytes() const") — a raw-typed
+# accessor leaks the dimension just as much as a raw member.
+UNITS_LAYERS = (
+    "src/sim/",
+    "src/net/",
+    "src/tfc/",
+    "src/transport/",
+    "src/topo/",
+    "src/workload/",
+)
+UNITS_ALLOWED_FILES = {
+    "src/sim/units.h",   # the unit types' own raw-view escapes (bytes_per_ns)
+    "src/net/packet.h",  # wire format: header fields are raw on purpose
+}
+UNITS_RAW_TYPE = (
+    r"(?:double|float|u?int(?:8|16|32|64)_t|size_t"
+    r"|unsigned(?:\s+long(?:\s+long)?|\s+int)?|long(?:\s+long)?(?:\s+int)?)"
+)
+UNITS_RE = re.compile(
+    r"\b" + UNITS_RAW_TYPE + r"\s+(?:const\s+)?(\w*_(?:bytes|tokens|ns|bps))_?\s*(?=[;=,(){])"
+)
+
 # recorder-hot: the telemetry sampling/spill hot functions, matched by
 # qualified symbol name in src/sim/telemetry.cc and scanned brace-to-brace.
 RECORDER_HOT_FILE = "src/sim/telemetry.cc"
@@ -128,7 +162,8 @@ RECORDER_HOT_FUNC_RE = re.compile(
 )
 RECORDER_HOT_BAN_RE = re.compile(
     r"\bstd::(?:map|unordered_map)\b"
-    r"|\.(?:find|count|at)\s*\("
+    r"|\.(?:find|at)\s*\("
+    r"|\.count\s*\(\s*[^)\s]"  # .count(key) lookups; .count() accessors are fine
     r"|\bseries_\s*\["
 )
 
@@ -252,6 +287,19 @@ def lint_file(path: Path, rel: str) -> list[str]:
                 "from src/sim/thread_annotations.h (tfc::Mutex / MutexLock / "
                 "CondVar), not raw std threading primitives"
             )
+        if (
+            rel.startswith(UNITS_LAYERS)
+            and rel not in UNITS_ALLOWED_FILES
+            and not allow(raw, "units")
+        ):
+            m = UNITS_RE.search(code)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: [units] '{m.group(1)}' declares a "
+                    "unit-suffixed quantity with a raw arithmetic type — use "
+                    "Bytes / Tokens / TimeNs / BitsPerSec (src/sim/units.h), "
+                    "or mark a sanctioned raw view with `// lint:allow units`"
+                )
         if rel.startswith("src/") and rel != "src/sim/thread_annotations.h":
             m = MUTEX_DECL_RE.search(code)
             if m and not allow(raw, "guarded-by"):

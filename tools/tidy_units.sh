@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# clang-tidy narrowing profile for the quantity-carrying layers.
+#
+# The unit types (src/sim/units.h) make cross-dimension arithmetic a compile
+# error, but a raw `int` truncation *inside* one dimension is still legal
+# C++ — this profile turns the remaining narrowing class into errors for the
+# layers where a silently truncated byte count or timestamp corrupts the
+# protocol: src/net, src/tfc, src/transport. The per-directory .clang-tidy
+# files there carry the same profile for editor integration; this script is
+# the CI entry point (ci.sh units).
+#
+# Usage: tools/tidy_units.sh [build-dir]
+#   build-dir must contain compile_commands.json (cmake --preset release).
+#
+# Skips with a notice (exit 0) when clang-tidy is not installed — the base
+# image ships only gcc; the gate still runs in environments that have LLVM
+# (the GitHub lint job installs clang-tidy).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "${TIDY}" ]]; then
+  echo "tidy_units.sh: clang-tidy not found on PATH; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "tidy_units.sh: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure with cmake --preset release first" >&2
+  exit 2
+fi
+
+CHECKS='-*,bugprone-narrowing-conversions,bugprone-implicit-widening-of-multiplication-result,cppcoreguidelines-narrowing-conversions'
+
+mapfile -t FILES < <(find src/net src/tfc src/transport -name '*.cc' | sort)
+echo "tidy_units.sh: narrowing profile over ${#FILES[@]} files" \
+     "with $("${TIDY}" --version | head -n1)"
+"${TIDY}" -quiet -p "${BUILD_DIR}" --checks="${CHECKS}" \
+    --warnings-as-errors='*' "${FILES[@]}"
+echo "tidy_units.sh: clean"

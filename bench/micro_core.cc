@@ -275,6 +275,43 @@ void BM_IncastTestbedTelemetryOn(benchmark::State& state) {
 }
 BENCHMARK(BM_IncastTestbedTelemetryOn)->Unit(benchmark::kMillisecond);
 
+// Flight-recorder twin of BM_IncastTestbedEventsPerSec: the same workload
+// with a 64K-event ring armed, so every packet event and TFC control-plane
+// event pays the armed path — gate branch, MakePacketEvent fill, masked
+// ring store. The items_per_second gap against the plain bench is the
+// always-armable tracing overhead; run_bench.sh gates it at <= 1.15x.
+// (With the ring disarmed the cost is the same one-branch gate the plain
+// bench already pays, so trace-off needs no separate twin.)
+void BM_IncastTestbedTraceOn(benchmark::State& state) {
+  uint64_t events = 0;
+  uint64_t recorded = 0;
+  for (auto _ : state) {
+    ProtocolSuite suite;
+    suite.protocol = Protocol::kTfc;
+    Network net(3);
+    LinkOptions opts;
+    opts.ecn_threshold_bytes = suite.EcnThresholdBytes(kGbps);
+    TestbedTopology topo = BuildTestbed(net, opts);
+    suite.InstallSwitchLogic(net);
+    net.flight().Arm(1 << 16);
+    std::vector<Host*> senders(topo.hosts.begin() + 1, topo.hosts.end());
+    IncastConfig cfg;
+    cfg.block_bytes = 64 * 1024;
+    cfg.rounds = 20;
+    IncastApp app(&net, suite, topo.hosts[0], senders, cfg);
+    app.Start();
+    net.scheduler().RunUntil(Seconds(2));
+    events += net.scheduler().executed();
+    recorded += net.flight().recorded();
+    benchmark::DoNotOptimize(net.flight().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["flight_events"] =
+      static_cast<double>(recorded) / static_cast<double>(state.iterations());
+  state.SetLabel("same incast with a 64K-event flight ring armed");
+}
+BENCHMARK(BM_IncastTestbedTraceOn)->Unit(benchmark::kMillisecond);
+
 // Fault-layer twin of BM_IncastTestbedEventsPerSec: the same workload with
 // a FaultInjector attached to every port but configured to inject nothing,
 // so every wire packet pays the full OnWire hook (state lookup, profile

@@ -90,6 +90,25 @@ if off and on:
               "telemetry-off baseline", file=sys.stderr)
         sys.exit(1)
 
+# Guard: an armed flight-recorder ring must stay within 1.15x of the plain
+# path. The armed append is a branch, a 40-byte struct fill, and a masked
+# store per event — anything past 1.15x means allocation, lookups, or I/O
+# crept onto the Record/EmitTrace path (the lint.py recorder-hot rule bans
+# the constructs; this gate catches what the regexes miss). Trace-off needs
+# no separate twin: disarmed, the gate is the same single branch the plain
+# bench (BM_IncastTestbedEventsPerSec) already measures against
+# BENCH_core.json.
+trace = ips("BM_IncastTestbedTraceOn")
+if off and trace:
+    ratio = off / trace
+    print(f"  armed flight-ring overhead: {ratio:.2f}x"
+          f" ({off:.3e} -> {trace:.3e} events/s)")
+    if ratio > 1.15:
+        import sys
+        print("error: armed flight recorder is >15% slower than the plain "
+              "path", file=sys.stderr)
+        sys.exit(1)
+
 # Guard: an attached-but-idle fault injector must stay close to the plain
 # data path (docs/robustness.md). Measured cost is ~1.1x (one hash lookup +
 # profile checks per wire packet); the 1.25x gate leaves room for run-to-run

@@ -2,7 +2,7 @@
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
 #   ./ci.sh            full matrix: release, asan-ubsan, hardened, tsan, lint,
-#                      tidy, units, telemetry, chaos
+#                      tidy, units, telemetry, trace, chaos
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -95,6 +95,54 @@ print(f"telemetry smoke: {len(names)} series OK")
 EOF
 }
 
+# Flight-recorder leg (docs/observability.md "Flight recorder"):
+# (1) arming the ring must not perturb the simulation — the telemetry spill
+#     and summary of an armed run are byte-identical to a trace-off run;
+# (2) a forced audit trip post-mortem-dumps the ring to flight.tfct, and two
+#     identical runs produce byte-identical dumps;
+# (3) --export-trace round-trips the dump into Perfetto JSON + a per-flow
+#     timeline, and every artifact validates against the documented schema.
+# CI uploads build/trace-smoke as the workflow's post-mortem artifact.
+leg_trace() {
+  echo "=== [trace] flight recorder: passivity + post-mortem + export ==="
+  cmake --preset release
+  cmake --build build -j "$(nproc)" --target tfcsim
+  local dir=build/trace-smoke
+  rm -rf "${dir}"
+  mkdir -p "${dir}"
+  local common=(--workload=incast --protocol=tfc --topology=testbed
+                --senders=8 --block_kb=64 --rounds=5 --seed=5)
+
+  echo "--- [trace] armed ring leaves outputs byte-identical ---"
+  ./build/examples/tfcsim "${common[@]}" --telemetry-dir="${dir}/off"
+  ./build/examples/tfcsim "${common[@]}" --telemetry-dir="${dir}/armed" \
+      --trace-ring=65536
+  cmp "${dir}/off/metrics.tfcb" "${dir}/armed/metrics.tfcb"
+  cmp "${dir}/off/summary.json" "${dir}/armed/summary.json"
+  echo "trace: off vs armed byte-identical"
+
+  echo "--- [trace] forced audit trip dumps deterministically ---"
+  local rc=0
+  ./build/examples/tfcsim "${common[@]}" --telemetry-dir="${dir}/trip1" \
+      --trace-ring=16384 --force-audit-trip=3000 >/dev/null 2>&1 || rc=$?
+  [[ "${rc}" -ne 0 ]] || { echo "trace: forced trip did not abort" >&2; return 1; }
+  [[ -s "${dir}/trip1/flight.tfct" ]] || {
+    echo "trace: no post-mortem dump written" >&2; return 1; }
+  ./build/examples/tfcsim "${common[@]}" --telemetry-dir="${dir}/trip2" \
+      --trace-ring=16384 --force-audit-trip=3000 >/dev/null 2>&1 || true
+  cmp "${dir}/trip1/flight.tfct" "${dir}/trip2/flight.tfct"
+  echo "trace: post-mortem dumps byte-identical across runs"
+
+  echo "--- [trace] export + schema validation ---"
+  ./build/examples/tfcsim --export-trace="${dir}/armed"
+  ./build/examples/tfcsim --export-trace="${dir}/trip1"
+  python3 tools/telemetry_schema.py "${dir}/armed"
+  python3 tools/telemetry_schema.py --flight "${dir}/trip1"
+  grep -q '"ph":"X"' "${dir}/armed/trace.perfetto.json"
+  grep -q '=== flow ' "${dir}/armed/flows.txt"
+  echo "trace: export round-trip validates"
+}
+
 # Chaos smoke under ASan: a handful of seeded fault schedules on the Fig. 4
 # testbed via tfcsim --fault-spec, plus the chaos_test harness gtest filter
 # that replays one full schedule bit-identically (docs/robustness.md). The
@@ -124,6 +172,7 @@ case "${1:-all}" in
   tidy)       leg_tidy ;;
   units)      leg_units ;;
   telemetry)  leg_telemetry ;;
+  trace)      leg_trace ;;
   chaos)      leg_chaos ;;
   all)
     leg_release
@@ -134,11 +183,12 @@ case "${1:-all}" in
     leg_tidy
     leg_units
     leg_telemetry
+    leg_trace
     leg_chaos
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|units|telemetry|chaos|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|units|telemetry|trace|chaos|all]" >&2
     exit 2
     ;;
 esac

@@ -16,6 +16,9 @@
 //   --topology=star|testbed|leafspine|fattree         (default star)
 //   --senders=N  --flows=N  --block_kb=N  --rounds=N  --duration=SECONDS
 //   --gbps=N (link rate)  --seed=N  --trace=FILE  --quick
+//   --trace-ring=N            arm the binary flight recorder (N events)
+//   --export-trace=RUN_DIR    render RUN_DIR/flight.tfct to Perfetto JSON
+//   --force-audit-trip=US     fail an audit at US microseconds (testing)
 //   --telemetry-dir=DIR       write manifest.json/metrics.tfcb/summary.json
 //   --telemetry-interval=US   recorder sampling period in microseconds
 //   --convert=RUN_DIR         decode RUN_DIR/metrics.tfcb to RUN_DIR/metrics.jsonl
@@ -28,9 +31,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "src/net/fault.h"
@@ -65,6 +70,9 @@ struct Options {
   uint64_t telemetry_interval_us = 1000;
   int sweep = 1;
   int jobs = 0;  // 0 = SweepRunner::DefaultWorkers()
+  uint64_t trace_ring = 0;  // flight-recorder capacity (0 = disarmed)
+  std::string export_trace_dir;
+  uint64_t force_audit_trip_us = 0;  // schedule a failing audit (testing)
 };
 
 // Buffered per-run output: sweep workers must never write to stdout directly
@@ -100,6 +108,16 @@ void PrintHelp() {
       "  --gbps=N         edge link rate                  (default 1)\n"
       "  --seed=N         RNG seed                        (default 1)\n"
       "  --trace=FILE     write a packet trace (ns-2 style text)\n"
+      "  --trace-ring=N   arm the flight recorder with an N-event ring; the\n"
+      "                   ring dumps to flight.tfct (next to metrics.tfcb when\n"
+      "                   --telemetry-dir is set) at end of run and on any\n"
+      "                   audit/TFC_CHECK/watchdog abort\n"
+      "  --export-trace=DIR        read DIR/flight.tfct and write\n"
+      "                            DIR/trace.perfetto.json (load in Perfetto)\n"
+      "                            and DIR/flows.txt, then exit\n"
+      "  --force-audit-trip=US     register an audit invariant that fails once\n"
+      "                            sim time reaches US microseconds (exercises\n"
+      "                            the post-mortem dump path; testing only)\n"
       "  --telemetry-dir=DIR       write a telemetry run directory\n"
       "                            (manifest.json, metrics.tfcb, summary.json)\n"
       "  --telemetry-interval=US   recorder sampling period (default 1000 us)\n"
@@ -182,6 +200,39 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
   link_opts.ecn_threshold_bytes = suite.EcnThresholdBytes(opt.gbps * kGbps);
   BuiltTopology topo = Build(net, opt, link_opts);
   suite.InstallSwitchLogic(net);
+
+  // Flight recorder: arm the ring before any workload traffic, and register
+  // the post-mortem path immediately so an abort at *any* later point (audit
+  // trip, TFC_CHECK, watchdog stall) still drains the ring to disk. The dump
+  // directory must exist before the trip, not after.
+  std::string flight_path;
+  if (opt.trace_ring > 0) {
+    net.flight().Arm(static_cast<size_t>(opt.trace_ring));
+    if (run_dir.empty()) {
+      flight_path = "flight.tfct";
+    } else {
+      std::error_code ec;
+      std::filesystem::create_directories(run_dir, ec);
+      flight_path = run_dir + "/flight.tfct";
+    }
+    net.ArmFlightPostMortem(flight_path);
+  }
+
+  // Forced audit trip (testing): an invariant that holds until the requested
+  // sim time, then fails — the next periodic AuditTick aborts through the
+  // TFC_CHECK funnel, which dumps the armed flight recorder first.
+  std::unique_ptr<ScopedAudit> forced_trip;
+  if (opt.force_audit_trip_us > 0) {
+    net.EnableAudit(Microseconds(100));
+    const TimeNs trip_at =
+        Microseconds(static_cast<int64_t>(opt.force_audit_trip_us));
+    Network* net_ptr = &net;
+    forced_trip = std::make_unique<ScopedAudit>(
+        &net.audit(), "tfcsim.forced_trip", [net_ptr, trip_at](Auditor& a) {
+          a.Check(net_ptr->scheduler().now() < trip_at,
+                  "forced audit trip (--force-audit-trip)");
+        });
+  }
 
   // The injector owns daemon timers into the scheduler, so it must die
   // before the Network: declare it after `net`.
@@ -342,6 +393,22 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
     net.set_tracer(nullptr);
   }
 
+  if (opt.trace_ring > 0) {
+    // Clean end of run: dump the ring now. The recorder stays armed (and the
+    // post-mortem registration stays live) through teardown, so a violation
+    // in the final audit pass still overwrites this file with the fuller
+    // picture.
+    std::string error;
+    if (!net.DumpFlight(flight_path, &error)) {
+      rep.Printf("flight dump failed: %s\n", error.c_str());
+      return 1;
+    }
+    rep.Printf("flight: %llu event(s) in ring (%llu recorded) -> %s\n",
+                static_cast<unsigned long long>(net.flight().size()),
+                static_cast<unsigned long long>(net.flight().recorded()),
+                flight_path.c_str());
+  }
+
   if (recorder != nullptr) {
     recorder->Stop();
     RunManifest manifest;
@@ -391,8 +458,13 @@ int main(int argc, char** argv) {
                ParseFlag(arg, "trace", &opt.trace_file) ||
                ParseFlag(arg, "telemetry-dir", &opt.telemetry_dir) ||
                ParseFlag(arg, "convert", &opt.convert_dir) ||
+               ParseFlag(arg, "export-trace", &opt.export_trace_dir) ||
                ParseFlag(arg, "fault-spec", &opt.fault_spec)) {
       continue;
+    } else if (ParseFlag(arg, "trace-ring", &value)) {
+      opt.trace_ring = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "force-audit-trip", &value)) {
+      opt.force_audit_trip_us = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "telemetry-interval", &value)) {
       opt.telemetry_interval_us = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "senders", &value)) {
@@ -431,6 +503,19 @@ int main(int argc, char** argv) {
     std::printf("converted %s -> %s\n", tfcb.c_str(), jsonl.c_str());
     return 0;
   }
+  if (!opt.export_trace_dir.empty()) {
+    // Offline exporter mode: no simulation, just render DIR/flight.tfct into
+    // a Perfetto-loadable JSON trace and a per-flow text timeline.
+    std::string error;
+    if (!tfc::ExportFlightTrace(opt.export_trace_dir, &error)) {
+      std::fprintf(stderr, "export-trace failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("exported %s/flight.tfct -> %s/trace.perfetto.json, %s/flows.txt\n",
+                opt.export_trace_dir.c_str(), opt.export_trace_dir.c_str(),
+                opt.export_trace_dir.c_str());
+    return 0;
+  }
   if (opt.senders < 1 || opt.flows < 1 || opt.rounds < 1 || opt.gbps < 1 ||
       opt.duration_s <= 0 || opt.telemetry_interval_us < 1 || opt.sweep < 1 ||
       opt.jobs < 0) {
@@ -440,6 +525,16 @@ int main(int argc, char** argv) {
   if (opt.sweep > 1 && !opt.trace_file.empty()) {
     std::fprintf(stderr, "--trace and --sweep cannot combine "
                          "(runs would clobber one trace file)\n");
+    return 1;
+  }
+  if (opt.sweep > 1 && opt.trace_ring > 0 && opt.telemetry_dir.empty()) {
+    std::fprintf(stderr, "--trace-ring with --sweep needs --telemetry-dir "
+                         "(each run dumps flight.tfct into its run directory)\n");
+    return 1;
+  }
+  if (opt.sweep > 1 && opt.force_audit_trip_us > 0) {
+    std::fprintf(stderr, "--force-audit-trip and --sweep cannot combine "
+                         "(the trip aborts the whole process)\n");
     return 1;
   }
 

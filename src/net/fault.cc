@@ -244,6 +244,11 @@ void FaultInjector::SetLinkDown(Port* port, bool down) {
   } else {
     st.down_accum += now - st.down_since;
   }
+  if (net_->TraceActive()) {
+    net_->EmitFlight(ControlFlightEvent(
+        down ? FlightEventType::kLinkDown : FlightEventType::kLinkUp,
+        port->owner()->id(), port->index(), -1));
+  }
 }
 
 void FaultInjector::SetDuplexDown(Port* port, bool down) {
@@ -351,6 +356,11 @@ void FaultInjector::SetHostDown(Host* host, bool down) {
   }
   ++host_transitions_;
   host->set_down(down);
+  if (net_->TraceActive()) {
+    net_->EmitFlight(ControlFlightEvent(
+        down ? FlightEventType::kHostDown : FlightEventType::kHostUp, host->id(),
+        -1, -1));
+  }
 }
 
 void FaultInjector::ScheduleHostOutage(Host* host, TimeNs at, TimeNs duration) {
@@ -563,6 +573,11 @@ void LivenessWatchdog::Tick() {
     if (now - e.last_change >= stall_after_ && !e.flagged) {
       e.flagged = true;
       flagged_.push_back(e.name);
+      // Routed through the TFC_CHECK funnel so armed flight recorders dump
+      // the events leading up to the stall before the process dies.
+      TFC_CHECK_MSG(!abort_on_stall_, "liveness watchdog: '"
+                                          << e.name << "' stalled (no progress for "
+                                          << (now - e.last_change) << " ns)");
     }
   }
   tick_event_ = scheduler_->ScheduleDaemonAfter(period_, [this] { Tick(); });

@@ -241,6 +241,13 @@ class LivenessWatchdog {
   void Stop();
   bool running() const { return running_; }
 
+  // When set, a freshly flagged stall aborts the process through the
+  // TFC_CHECK funnel — which drains any armed flight recorders to their
+  // flight.tfct spills first (src/sim/flight.h). Off by default: tests
+  // assert on flagged() instead.
+  void set_abort_on_stall(bool abort) { abort_on_stall_ = abort; }
+  bool abort_on_stall() const { return abort_on_stall_; }
+
   // Entities stuck right now (not done, no progress for stall_after).
   // Non-const: evaluates the progress/done callables.
   std::vector<std::string> Stalled();
@@ -268,6 +275,7 @@ class LivenessWatchdog {
   std::vector<std::string> flagged_;
   uint64_t ticks_ = 0;
   bool running_ = false;
+  bool abort_on_stall_ = false;
   Scheduler::EventId tick_event_;
 };
 

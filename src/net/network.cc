@@ -72,6 +72,38 @@ void Network::AuditTick() {
   scheduler_.ScheduleDaemonAfter(audit_period_, [this] { AuditTick(); });
 }
 
+void Network::EmitFlight(FlightEvent event) {
+  event.time = scheduler_.now();
+  flight_.Record(event);
+  if (tracer_ != nullptr) {
+    tracer_->OnEvent(event, *this);
+  }
+}
+
+std::string_view Network::NodeName(int id) const {
+  return id >= 0 && id < num_nodes()
+             ? std::string_view(nodes_[static_cast<size_t>(id)]->name())
+             : std::string_view();
+}
+
+void Network::ArmFlightPostMortem(const std::string& path) {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    names.push_back(node->name());
+  }
+  flight_.ArmPostMortem(path, std::move(names));
+}
+
+bool Network::DumpFlight(const std::string& path, std::string* error) const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    names.push_back(node->name());
+  }
+  return flight_.Dump(path, names, error);
+}
+
 Host* Network::AddHost(std::string name) {
   auto host = std::make_unique<Host>(this, num_nodes(), std::move(name));
   Host* raw = host.get();

@@ -29,6 +29,7 @@
 #include "src/net/switch.h"
 #include "src/net/trace.h"
 #include "src/sim/audit.h"
+#include "src/sim/flight.h"
 #include "src/sim/profile.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
@@ -48,7 +49,7 @@ struct LinkOptions {
   Bytes ecn_threshold_bytes = 0;
 };
 
-class Network {
+class Network : public FlightNames {
  public:
   explicit Network(uint64_t seed = 1);
   Network(const Network&) = delete;
@@ -89,16 +90,37 @@ class Network {
   PacketPool& packet_pool() { return packet_pool_; }
   const PacketPool& packet_pool() const { return packet_pool_; }
 
-  // Packet-level tracing: the tracer (not owned) sees every enqueue,
-  // transmit, drop, and delivery. Null disables tracing (the default).
+  // Event tracing: the tracer (not owned) sees every packet and
+  // control-plane event live; the flight recorder, once armed, keeps the
+  // most recent events in a ring for post-mortem dumps and offline export.
+  // Null tracer + disarmed ring disables tracing (the default): the hot
+  // path pays two predictable loads and a branch.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+  // True when any sink (tracer or armed ring) consumes events. Control-
+  // plane instrumentation gates its event construction on this.
+  bool TraceActive() const { return tracer_ != nullptr || flight_.armed(); }
   void EmitTrace(TraceEventType type, const Packet& pkt, const Node* node,
                  const Port* port) {
-    if (tracer_ != nullptr) {
-      tracer_->OnEvent(TraceEvent{scheduler_.now(), type, &pkt, node, port});
+    if (tracer_ == nullptr && !flight_.armed()) {
+      return;
     }
+    EmitTraceArmed(type, pkt, node, port);
   }
+  // Records a pre-built control-plane event, stamping the current sim time.
+  // Call sites gate on TraceActive() before building the event.
+  void EmitFlight(FlightEvent event);
+
+  // FlightNames: resolves an interned node id for the live renderer.
+  std::string_view NodeName(int id) const override;
+  // Snapshots node names and registers the armed ring with the process-wide
+  // post-mortem hook: any TFC_CHECK failure (audit violation, watchdog
+  // trip) drains it to `path` before aborting.
+  void ArmFlightPostMortem(const std::string& path);
+  // Drains the armed ring to `path` now (end-of-run export).
+  bool DumpFlight(const std::string& path, std::string* error) const;
 
   // Finds the port on `a` whose peer is `b` (first match); null if none.
   static Port* FindPort(Node* a, Node* b);
@@ -129,6 +151,23 @@ class Network {
 
  private:
   void AuditTick();
+  // Armed path: fills the fixed-width record straight into the claimed ring
+  // slot (inline MakePacketEvent, no intermediate copy), then feeds any
+  // text tracer. Inline so the bench-gated armed cost stays call-free.
+  void EmitTraceArmed(TraceEventType type, const Packet& pkt, const Node* node,
+                      const Port* port) {
+    if (flight_.armed()) {
+      FlightEvent& event = *flight_.Append();
+      event = MakePacketEvent(scheduler_.now(), type, pkt, node, port);
+      if (tracer_ != nullptr) {
+        tracer_->OnEvent(event, *this);
+      }
+    } else {
+      const FlightEvent event =
+          MakePacketEvent(scheduler_.now(), type, pkt, node, port);
+      tracer_->OnEvent(event, *this);
+    }
+  }
   // Member order is destruction order in reverse: the audit and metric
   // registries are declared first so they are destroyed last — components
   // hold ScopedAudit/ScopedMetrics registrations that unregister in their
@@ -138,6 +177,9 @@ class Network {
   AuditRegistry audit_registry_;
   MetricRegistry metrics_;
   Profiler profiler_{&metrics_};
+  // Declared before the scheduler and nodes so the ring (and its post-
+  // mortem registration) outlives the final audit pass in ~Network.
+  FlightRecorder flight_;
   PacketPool packet_pool_;
   Scheduler scheduler_;
   Rng rng_;

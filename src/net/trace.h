@@ -1,13 +1,24 @@
-// Packet-level tracing.
+// Event tracing: live renderers and offline exporters over flight events.
 //
-// A Tracer registered on the Network observes every queue/transmit/drop/
-// delivery event, ns-2 style. The hot path costs one pointer test when no
-// tracer is installed. TextTracer renders one line per event:
+// Since PR 8 the trace layer is a set of *readers* of the flight recorder's
+// fixed-width FlightEvent struct (src/sim/flight.h). The Network builds one
+// FlightEvent per packet or control-plane event and hands it to the armed
+// ring buffer and/or the installed Tracer; the hot path costs one pointer
+// test when neither is active. TextTracer renders one line per event:
 //
 //   3.021840 + s[NF2]:p2 DATA f=7 seq=14600 len=1460 rm q=3036
 //   ^time(s)  ^event     ^packet                        ^queue after
 //
-// Events: '+' enqueue, '-' transmit, 'd' drop, 'r' deliver-to-host.
+// Packet events: '+' enqueue, '-' transmit, 'd' drop, 'r' deliver-to-host,
+// 'x' fault-drop. TFC control-plane events render with a '*' marker and the
+// event mnemonic:
+//
+//   0.000213 * s[NF2]:p2 slot_end E=11680 token=2920 w=1460 rtt_m=52000
+//   0.000201 * a grant w=2920 ctr=11680 f=3
+//
+// ExportFlightTrace() turns a dumped flight.tfct into Chrome/Perfetto
+// trace-event JSON (one track per port, one async span per flow) plus a
+// per-flow text timeline; load the JSON at https://ui.perfetto.dev.
 
 #ifndef SRC_NET_TRACE_H_
 #define SRC_NET_TRACE_H_
@@ -16,36 +27,51 @@
 #include <ostream>
 #include <string>
 
+#include "src/net/node.h"
 #include "src/net/packet.h"
+#include "src/sim/flight.h"
 #include "src/sim/time.h"
 
 namespace tfc {
 
-class Node;
-class Port;
-
-enum class TraceEventType : uint8_t {
-  kEnqueue,    // packet entered a port's transmit queue
-  kTransmit,   // packet finished serializing onto the link
-  kDrop,       // packet tail-dropped at a full buffer
-  kDeliver,    // packet handed to a host endpoint
-  kFaultDrop,  // packet destroyed by an injected fault (loss, link down,
-               // crashed host, wiped switch state) — never a queue drop
-};
-
-struct TraceEvent {
-  TimeNs time;
-  TraceEventType type;
-  const Packet* packet;  // valid only for the duration of the callback
-  const Node* node;      // owner of the port, or the receiving host
-  const Port* port;      // null for kDeliver
-};
+// Packet events predate the flight recorder; existing call sites spell the
+// shared event enum as TraceEventType.
+using TraceEventType = FlightEventType;
 
 class Tracer {
  public:
   virtual ~Tracer() = default;
-  virtual void OnEvent(const TraceEvent& event) = 0;
+  // `names` resolves event.node back to a display name; it is the live
+  // Network during simulation and a loaded FlightDump offline.
+  virtual void OnEvent(const FlightEvent& event, const FlightNames& names) = 0;
 };
+
+// Packs a live packet event into the fixed-width record: a=payload length,
+// b=advertised window (saturated), c=queue bytes after the event (0 when
+// portless), flags=rm/rma/ce bits, ptype=PacketType. Inline: an armed ring
+// pays this per packet event, so the fill must compile down to direct
+// stores (the run_bench.sh armed-ring gate holds the all-in cost to 1.15x).
+inline FlightEvent MakePacketEvent(TimeNs time, FlightEventType type,
+                                   const Packet& pkt, const Node* node,
+                                   const Port* port) {
+  FlightEvent e;
+  e.time = time;
+  e.type = type;
+  e.seq = pkt.seq;
+  e.a = FlightI32(pkt.payload);
+  e.b = FlightI32(pkt.window);
+  e.c = port != nullptr ? FlightI32(port->queue_bytes().count()) : 0;
+  e.flow = pkt.flow_id;
+  e.node = static_cast<int16_t>(node->id());
+  e.port = port != nullptr ? static_cast<int16_t>(port->index())
+                           : static_cast<int16_t>(-1);
+  e.ptype = static_cast<uint8_t>(pkt.type);
+  e.flags = static_cast<uint8_t>((pkt.rm ? kFlightRm : 0) |
+                                 (pkt.rma ? kFlightRma : 0) |
+                                 (pkt.ecn_ce ? kFlightCe : 0));
+  e.weight = pkt.weight;
+  return e;
+}
 
 // Renders events as text. Optionally restricted to one flow id (-1 = all),
 // one node, and/or one port index; filters compose (AND).
@@ -57,10 +83,11 @@ class TextTracer : public Tracer {
   // Only events at the node with this name (empty = all nodes, the default).
   void set_node_filter(std::string node_name) { node_filter_ = std::move(node_name); }
   // Only events at ports with this index (-1 = all, the default). A port
-  // filter excludes kDeliver events: deliveries carry no port.
+  // filter excludes portless events: deliveries and host-side control
+  // events (probe/rma) carry no port.
   void set_port_filter(int index) { port_filter_ = index; }
 
-  void OnEvent(const TraceEvent& event) override;
+  void OnEvent(const FlightEvent& event, const FlightNames& names) override;
 
   uint64_t events_written() const { return events_written_; }
 
@@ -75,14 +102,30 @@ class TextTracer : public Tracer {
 // Counts events per type without formatting (cheap assertions in tests).
 class CountingTracer : public Tracer {
  public:
-  void OnEvent(const TraceEvent& event) override;
+  void OnEvent(const FlightEvent& event, const FlightNames& names) override;
 
   uint64_t enqueues = 0;
   uint64_t transmits = 0;
   uint64_t drops = 0;
   uint64_t delivers = 0;
   uint64_t fault_drops = 0;
+  // TFC control-plane + fault-transition events, total and per type.
+  uint64_t control = 0;
+  uint64_t by_type[kFlightEventTypeCount] = {};
 };
+
+// Offline exporter for `tfcsim --export-trace=DIR`: reads DIR/flight.tfct
+// and writes
+//   DIR/trace.perfetto.json  Chrome trace-event JSON — metadata names every
+//                            node (process) and port (thread), each TFC
+//                            slot is a complete ("X") event on its port
+//                            track, each flow is an async ("b"/"e") span,
+//                            everything else an instant event; timestamps
+//                            are microseconds, emitted in monotone order
+//   DIR/flows.txt            per-flow text timeline (TextTracer rendering
+//                            grouped by flow id)
+// Returns false and fills *error if the dump is missing or malformed.
+bool ExportFlightTrace(const std::string& dir, std::string* error);
 
 }  // namespace tfc
 

@@ -24,8 +24,14 @@
 
 namespace tfc {
 
+// Post-mortem hook (src/sim/flight.cc): drains every flight recorder armed
+// via FlightRecorder::ArmPostMortem to its flight.tfct spill, so the events
+// leading up to a failed check survive the abort.
+void DumpArmedFlightRecorders();
+
 [[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", cond, file, line);
+  DumpArmedFlightRecorders();
   std::abort();
 }
 
@@ -33,6 +39,7 @@ namespace tfc {
                                      const std::string& detail) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n  %s\n", cond, file, line,
                detail.c_str());
+  DumpArmedFlightRecorders();
   std::abort();
 }
 

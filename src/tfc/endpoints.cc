@@ -75,6 +75,13 @@ void TfcSender::SendProbe() {
   pkt->weight = config_.weight;
   pkt->ts = network()->scheduler().now();
   ++probes_sent_;
+  if (network()->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kProbeSend, local()->id(),
+                                       -1, flow_id());
+    e.seq = static_cast<uint64_t>(pkt->seq);
+    e.a = probe_attempts_;
+    network()->EmitFlight(e);
+  }
   SendPacket(std::move(pkt));
   RestartRtoTimer();
   ArmProbeRetry();
@@ -107,6 +114,12 @@ void TfcSender::OnProbeRetryTimer() {
   }
   ++probe_attempts_;
   ++probe_retries_;
+  if (network()->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kProbeRetry, local()->id(),
+                                       -1, flow_id());
+    e.a = probe_attempts_;
+    network()->EmitFlight(e);
+  }
   SendProbe();  // re-arms the timer with the doubled delay
 }
 
@@ -146,6 +159,13 @@ void TfcSender::OnAckHeader(const Packet& ack) {
   awaiting_probe_rma_ = false;
   probe_attempts_ = 0;
   probe_timer_.Cancel();
+  if (network()->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kRmaReceive, local()->id(),
+                                       -1, flow_id());
+    e.a = FlightI32(ack.window);
+    e.b = FlightI32(cwnd_frames_);
+    network()->EmitFlight(e);
+  }
   // Per Sec. 5.1: after receiving an RMA, mark the next outgoing data packet.
   pending_rm_ = true;
   SendAvailable();

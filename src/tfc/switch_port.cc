@@ -176,6 +176,16 @@ void TfcPortAgent::AdoptDelimiter(const Packet& pkt) {
   slot_start_queue_bytes_ = port_->queue_bytes();
   E_ = std::max<int>(1, pkt.weight);  // the adopting RM starts the slot
   arrived_wire_bytes_ = Bytes(pkt.wire_bytes());
+  if (Network* net = switch_->network(); net->TraceActive()) {
+    net->EmitFlight(ControlFlightEvent(FlightEventType::kDelimiterAdopt,
+                                       switch_->id(), port_->index(),
+                                       delimiter_flow_));
+    FlightEvent begin = ControlFlightEvent(FlightEventType::kSlotBegin,
+                                           switch_->id(), port_->index(),
+                                           delimiter_flow_);
+    begin.seq = static_cast<uint64_t>(E_);
+    net->EmitFlight(begin);
+  }
   ArmFailover();
 }
 
@@ -240,6 +250,7 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
   const int effective = config_.flow_count_mode == FlowCountMode::kSynFin
                             ? std::max(1, synfin_count_)
                             : E_;
+  const bool was_cold = !have_window_;  // converging from cold start / wipe
   window_ = token_ / static_cast<double>(effective);
   have_window_ = true;
   last_E_ = effective;
@@ -256,6 +267,27 @@ void TfcPortAgent::EndSlot(const Packet& pkt) {
   slot_start_ = now;
   slot_start_queue_bytes_ = port_->queue_bytes();
   miss_k_ = 0;
+  if (Network* net = switch_->network(); net->TraceActive()) {
+    FlightEvent end = ControlFlightEvent(FlightEventType::kSlotEnd, switch_->id(),
+                                         port_->index(), delimiter_flow_);
+    end.seq = static_cast<uint64_t>(effective);
+    end.a = FlightI32(token_.value());
+    end.b = FlightI32(window_.value());
+    end.c = FlightI32(rtt_m.count());
+    net->EmitFlight(end);
+    if (was_cold) {
+      FlightEvent conv = ControlFlightEvent(FlightEventType::kAgentConverge,
+                                            switch_->id(), port_->index(),
+                                            delimiter_flow_);
+      conv.a = FlightI32(static_cast<int64_t>(slots_completed_));
+      net->EmitFlight(conv);
+    }
+    FlightEvent begin = ControlFlightEvent(FlightEventType::kSlotBegin,
+                                           switch_->id(), port_->index(),
+                                           delimiter_flow_);
+    begin.seq = static_cast<uint64_t>(E_);
+    net->EmitFlight(begin);
+  }
   ArmFailover();
 }
 
@@ -282,6 +314,13 @@ void TfcPortAgent::OnFailoverTimer() {
   want_new_delimiter_ = true;
   ++delimiter_failovers_;
   ++miss_k_;
+  if (Network* net = switch_->network(); net->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kDelimiterFailover,
+                                       switch_->id(), port_->index(),
+                                       delimiter_flow_);
+    e.a = miss_k_;
+    net->EmitFlight(e);
+  }
   if (miss_k_ <= config_.max_miss_exponent) {
     ArmFailover();
   }
@@ -305,6 +344,13 @@ void TfcPortAgent::RefillCounter() {
     counter_ += add;
     refilled_total_ += add;
     counter_refill_time_ = now;
+    if (Network* net = switch_->network(); net->TraceActive()) {
+      FlightEvent e = ControlFlightEvent(FlightEventType::kTokenRefill,
+                                         switch_->id(), port_->index(), -1);
+      e.a = FlightI32(add.value());
+      e.b = FlightI32(counter_.value());
+      net->EmitFlight(e);
+    }
   }
   const Tokens cap = config_.counter_cap_quanta * Tokens::FromBytes(config_.delay_quantum);
   if (counter_ > cap) {
@@ -335,6 +381,14 @@ bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
       forgiven_total_ += floor - counter_;
       counter_ = floor;
     }
+    if (Network* net = switch_->network(); net->TraceActive()) {
+      FlightEvent e = ControlFlightEvent(FlightEventType::kTokenGrant,
+                                         switch_->id(), port_->index(),
+                                         pkt->flow_id);
+      e.a = FlightI32(w.value());
+      e.b = FlightI32(counter_.value());
+      net->EmitFlight(e);
+    }
     return true;
   }
 
@@ -345,14 +399,31 @@ bool TfcPortAgent::OnReverse(PacketPtr& pkt) {
     counter_ -= quantum;
     debited_total_ += quantum;
     granted_mss_ += quantum;
+    if (Network* net = switch_->network(); net->TraceActive()) {
+      FlightEvent e = ControlFlightEvent(FlightEventType::kTokenGrant,
+                                         switch_->id(), port_->index(),
+                                         pkt->flow_id);
+      e.a = FlightI32(quantum.value());
+      e.b = FlightI32(counter_.value());
+      net->EmitFlight(e);
+    }
     return true;
   }
   if (delay_queue_.size() >= config_.delay_queue_limit) {
     pkt->window = config_.delay_quantum.ToU32Saturating();  // fail open rather than drop
     return true;
   }
+  const int32_t parked_window = FlightI32(pkt->window);
+  const int parked_flow = pkt->flow_id;
   delay_queue_.push_back(ParkedAck{std::move(pkt), scheduler_->now()});
   ++delayed_acks_;
+  if (Network* net = switch_->network(); net->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kArbiterPark,
+                                       switch_->id(), port_->index(), parked_flow);
+    e.a = parked_window;
+    e.c = FlightI32(static_cast<uint64_t>(delay_queue_.size()));
+    net->EmitFlight(e);
+  }
   ScheduleRelease();
   return false;
 }
@@ -379,8 +450,16 @@ void TfcPortAgent::DropParkedAck(PacketPtr pkt) {
   // Parked grants are destroyed without touching the ledger: the debit for
   // a parked ACK only happens at release, so an expired ACK costs nothing.
   ++arbiter_expired_;
-  switch_->network()->EmitTrace(  // lint:allow packet-drop (arbiter_expired_)
+  Network* net = switch_->network();
+  net->EmitTrace(  // lint:allow packet-drop (arbiter_expired_)
       TraceEventType::kDrop, *pkt, switch_, port_);
+  if (net->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kArbiterExpire,
+                                       switch_->id(), port_->index(),
+                                       pkt->flow_id);
+    e.c = FlightI32(static_cast<uint64_t>(delay_queue_.size()));
+    net->EmitFlight(e);
+  }
   pkt.reset();
 }
 
@@ -424,6 +503,14 @@ void TfcPortAgent::ReleaseParkedAcks() {
     counter_ -= quantum;
     debited_total_ += quantum;
     granted_mss_ += quantum;
+    if (Network* net = switch_->network(); net->TraceActive()) {
+      FlightEvent e = ControlFlightEvent(FlightEventType::kArbiterRelease,
+                                         switch_->id(), port_->index(),
+                                         pkt->flow_id);
+      e.a = FlightI32(quantum.value());
+      e.b = FlightI32(counter_.value());
+      net->EmitFlight(e);
+    }
     switch_->Forward(std::move(pkt));
   }
   ScheduleRelease();
@@ -488,6 +575,12 @@ void TfcPortAgent::WipeState(std::deque<PacketPtr>* lost) {
   // observability, not device registers: they survive so tests and metrics
   // keep their cumulative meaning across reboots.
   ++state_wipes_;
+  if (Network* net = switch_->network(); net->TraceActive()) {
+    FlightEvent e = ControlFlightEvent(FlightEventType::kAgentWipe, switch_->id(),
+                                       port_->index(), -1);
+    e.a = FlightI32(static_cast<int64_t>(state_wipes_));
+    net->EmitFlight(e);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,10 @@
 //   - all runtime-auditor invariants hold through every fault,
 //   - an identical seed replays bit-identically (same event count, same
 //     per-flow byte counts, same fault counters).
+//
+// Every run executes with the flight recorder armed: arming must not perturb
+// the simulation (the recorder is purely passive), and the number of events
+// it captures is itself part of the replay-identity contract.
 
 #include <gtest/gtest.h>
 
@@ -40,6 +44,7 @@ struct ChaosResult {
   bool all_closed = true;
   std::vector<std::string> stuck;  // watchdog-flagged flows
   bool audit_ok = true;
+  uint64_t flight_recorded = 0;  // flight-recorder events captured
 
   bool operator==(const ChaosResult&) const = default;
 };
@@ -47,6 +52,7 @@ struct ChaosResult {
 ChaosResult RunChaos(uint64_t seed) {
   Network net(seed);
   net.EnableAudit(Microseconds(500));
+  net.flight().Arm(1 << 15);
   TestbedTopology topo = BuildTestbed(net);
   InstallTfcSwitches(net);
   FaultInjector inject(&net, seed * 0x9E3779B97F4A7C15ull + 1);
@@ -129,6 +135,7 @@ ChaosResult RunChaos(uint64_t seed) {
   }
   result.stuck = watchdog.flagged();
   result.audit_ok = net.RunAudit().ok();
+  result.flight_recorded = net.flight().recorded();
   return result;
 }
 
@@ -142,6 +149,7 @@ TEST(ChaosTest, EverySeedSurvivesItsFaultScheduleAndReplaysIdentically) {
     EXPECT_GT(first.agent_wipes, 0u);
     EXPECT_GT(first.link_transitions, 0u);
     EXPECT_GT(first.link_down_ns, 0);
+    EXPECT_GT(first.flight_recorded, 0u);
 
     // Contract: no stranded flows, no watchdog flags, invariants hold.
     EXPECT_TRUE(first.all_closed);

@@ -8,6 +8,8 @@
 #include "src/net/network.h"
 #include "src/net/trace.h"
 #include "src/tcp/tcp.h"
+#include "src/tfc/endpoints.h"
+#include "src/tfc/switch_port.h"
 
 namespace tfc {
 namespace {
@@ -131,9 +133,9 @@ TEST(TraceTest, DirectEventRendersExactLine) {
 
   std::ostringstream out;
   TextTracer tracer(&out);
-  TraceEvent event{/*time=*/Microseconds(3'021'840), TraceEventType::kEnqueue,
-                   &pkt, d.s, port};
-  tracer.OnEvent(event);
+  const FlightEvent event = MakePacketEvent(Microseconds(3'021'840),
+                                            TraceEventType::kEnqueue, pkt, d.s, port);
+  tracer.OnEvent(event, d.net);
 
   EXPECT_EQ(out.str(), "3.021840 + s:p1 DATA f=7 seq=14600 len=1460 rm q=0\n");
   EXPECT_EQ(tracer.events_written(), 1u);
@@ -152,9 +154,172 @@ TEST(TraceTest, DirectDeliverEventOmitsPortAndShowsFlags) {
 
   std::ostringstream out;
   TextTracer tracer(&out);
-  tracer.OnEvent({Seconds(1.5), TraceEventType::kDeliver, &pkt, d.b, nullptr});
+  tracer.OnEvent(
+      MakePacketEvent(Seconds(1.5), TraceEventType::kDeliver, pkt, d.b, nullptr),
+      d.net);
 
   EXPECT_EQ(out.str(), "1.500000 r b ACK f=3 seq=1 len=0 rma w=2920 ce\n");
+}
+
+// Control-plane events render with the '*' marker, the event mnemonic, and
+// per-type key=value payload fields.
+TEST(TraceTest, DirectSlotEndEventRendersExactLine) {
+  TracedDumbbell d;
+  Port* port = Network::FindPort(d.s, d.b);
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  FlightEvent e = ControlFlightEvent(FlightEventType::kSlotEnd, d.s->id(),
+                                     port->index(), 4);
+  e.time = Microseconds(213);
+  e.seq = 8;  // effective flows E
+  e.a = 11680;
+  e.b = 1460;
+  e.c = 52000;
+  tracer.OnEvent(e, d.net);
+
+  EXPECT_EQ(out.str(), "0.000213 * s:p1 slot_end E=8 token=11680 w=1460 rtt_m=52000 f=4\n");
+  EXPECT_EQ(tracer.events_written(), 1u);
+}
+
+TEST(TraceTest, DirectGrantEventRendersExactLine) {
+  TracedDumbbell d;
+  Port* port = Network::FindPort(d.s, d.b);
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  FlightEvent e = ControlFlightEvent(FlightEventType::kTokenGrant, d.s->id(),
+                                     port->index(), 3);
+  e.time = Microseconds(201);
+  e.a = 2920;
+  e.b = -1460;  // the arbiter counter legitimately goes negative (debt)
+  tracer.OnEvent(e, d.net);
+
+  EXPECT_EQ(out.str(), "0.000201 * s:p1 grant w=2920 ctr=-1460 f=3\n");
+}
+
+TEST(TraceTest, DirectProbeEventIsPortlessAndRendersAttempt) {
+  TracedDumbbell d;
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  FlightEvent e = ControlFlightEvent(FlightEventType::kProbeSend, d.a->id(), -1, 2);
+  e.time = Microseconds(100);
+  e.seq = 0;
+  e.a = 1;
+  tracer.OnEvent(e, d.net);
+
+  EXPECT_EQ(out.str(), "0.000100 * a probe seq=0 attempt=1 f=2\n");
+}
+
+TEST(TraceTest, DirectWipeEventHasNoFlow) {
+  TracedDumbbell d;
+  Port* port = Network::FindPort(d.s, d.a);
+
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  FlightEvent e = ControlFlightEvent(FlightEventType::kAgentWipe, d.s->id(),
+                                     port->index(), -1);
+  e.time = Milliseconds(10);
+  e.a = 1;
+  tracer.OnEvent(e, d.net);
+
+  EXPECT_EQ(out.str(), "0.010000 * s:p0 wipe n=1\n");
+}
+
+// An unknown node id (offline dump with a truncated name table) falls back
+// to "n<id>" instead of crashing or printing garbage.
+TEST(TraceTest, UnknownNodeIdRendersFallbackName) {
+  FlightDump dump;  // empty name table
+  std::ostringstream out;
+  TextTracer tracer(&out);
+  FlightEvent e = ControlFlightEvent(FlightEventType::kLinkDown, 5, 2, -1);
+  e.time = Microseconds(1);
+  tracer.OnEvent(e, dump);
+  EXPECT_EQ(out.str(), "0.000001 * n5:p2 link_down\n");
+}
+
+// Filters apply to control-plane events exactly as to packet events: the
+// flow filter matches the event's flow id, the node filter its node name,
+// and a port filter excludes portless (host-side) control events.
+TEST(TraceTest, FiltersApplyToControlEvents) {
+  TracedDumbbell d;
+  Port* port = Network::FindPort(d.s, d.b);
+
+  FlightEvent grant = ControlFlightEvent(FlightEventType::kTokenGrant, d.s->id(),
+                                         port->index(), 3);
+  FlightEvent probe = ControlFlightEvent(FlightEventType::kProbeSend, d.a->id(), -1, 3);
+  FlightEvent other = ControlFlightEvent(FlightEventType::kTokenGrant, d.s->id(),
+                                         port->index(), 9);
+
+  {
+    std::ostringstream out;
+    TextTracer tracer(&out, /*flow_filter=*/3);
+    tracer.OnEvent(grant, d.net);
+    tracer.OnEvent(other, d.net);
+    EXPECT_EQ(tracer.events_written(), 1u);
+    EXPECT_NE(out.str().find("f=3"), std::string::npos);
+    EXPECT_EQ(out.str().find("f=9"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    TextTracer tracer(&out);
+    tracer.set_node_filter("s");
+    tracer.OnEvent(grant, d.net);
+    tracer.OnEvent(probe, d.net);
+    EXPECT_EQ(tracer.events_written(), 1u);
+    EXPECT_NE(out.str().find("grant"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    TextTracer tracer(&out);
+    tracer.set_port_filter(port->index());
+    tracer.OnEvent(grant, d.net);
+    tracer.OnEvent(probe, d.net);  // portless: excluded by any port filter
+    EXPECT_EQ(tracer.events_written(), 1u);
+  }
+}
+
+// CountingTracer tallies control-plane events both in aggregate and per type.
+TEST(TraceTest, CountingTracerCountsControlEvents) {
+  TracedDumbbell d;
+  CountingTracer tracer;
+  FlightEvent grant = ControlFlightEvent(FlightEventType::kTokenGrant, d.s->id(), 1, 3);
+  FlightEvent wipe = ControlFlightEvent(FlightEventType::kAgentWipe, d.s->id(), 1, -1);
+  tracer.OnEvent(grant, d.net);
+  tracer.OnEvent(grant, d.net);
+  tracer.OnEvent(wipe, d.net);
+  EXPECT_EQ(tracer.control, 3u);
+  EXPECT_EQ(tracer.by_type[static_cast<size_t>(FlightEventType::kTokenGrant)], 2u);
+  EXPECT_EQ(tracer.by_type[static_cast<size_t>(FlightEventType::kAgentWipe)], 1u);
+  EXPECT_EQ(tracer.enqueues, 0u);
+}
+
+// A live TFC run emits the control-plane events through the installed
+// tracer: grants, slot begin/end pairs, and the senders' probe/rma pairs.
+TEST(TraceTest, TfcRunEmitsControlPlaneEvents) {
+  TracedDumbbell d;
+  InstallTfcSwitches(d.net, TfcSwitchConfig());
+  CountingTracer tracer;
+  d.net.set_tracer(&tracer);
+
+  TfcSender flow(&d.net, d.a, d.b, TfcHostConfig());
+  flow.Write(200'000);
+  flow.Close();
+  flow.Start();
+  d.net.scheduler().Run();
+
+  EXPECT_EQ(flow.delivered_bytes(), 200'000u);
+  EXPECT_GT(tracer.control, 0u);
+  EXPECT_GT(tracer.by_type[static_cast<size_t>(FlightEventType::kProbeSend)], 0u);
+  EXPECT_GT(tracer.by_type[static_cast<size_t>(FlightEventType::kRmaReceive)], 0u);
+  EXPECT_GT(tracer.by_type[static_cast<size_t>(FlightEventType::kDelimiterAdopt)], 0u);
+  EXPECT_GT(tracer.by_type[static_cast<size_t>(FlightEventType::kSlotBegin)], 0u);
+  EXPECT_GT(tracer.by_type[static_cast<size_t>(FlightEventType::kSlotEnd)], 0u);
+  EXPECT_GT(tracer.by_type[static_cast<size_t>(FlightEventType::kAgentConverge)], 0u);
+  // Slots alternate begin/end: every end had a begin.
+  EXPECT_GE(tracer.by_type[static_cast<size_t>(FlightEventType::kSlotBegin)],
+            tracer.by_type[static_cast<size_t>(FlightEventType::kSlotEnd)]);
 }
 
 TEST(TraceTest, NodeFilterSelectsOneNode) {

@@ -49,15 +49,19 @@ Rules enforced (see docs/correctness.md):
                   TimeNs / BitsPerSec instead. Wire-format boundaries
                   (src/net/packet.h header fields) are allowlisted; named
                   raw-view escapes carry `// lint:allow units`.
-  recorder-hot    src/sim/telemetry.cc is hot-io allowlisted as a whole (it
-                  is the exporter), but the recorder's per-tick path must
-                  still stay string- and I/O-free: inside the brace-matched
-                  bodies of TimeSeriesRecorder::Tick, ::AppendTo, and
-                  SpillWriter::AppendRecord there may be no std::map /
-                  unordered_map, no string-keyed lookups (.find/.count/.at/
-                  series_[), and no stream/printf I/O. Cold helpers
-                  (RebuildPlan, SpillWriter::Flush) do the lookups and the
-                  fwrite batching. Suppress with `// lint:allow recorder-hot`.
+  recorder-hot    the per-event recording hot paths must stay allocation-,
+                  lookup-, and I/O-free. Three brace-matched scopes are
+                  scanned: the telemetry sampler (TimeSeriesRecorder::Tick /
+                  ::AppendTo and SpillWriter::AppendRecord in
+                  src/sim/telemetry.cc — no std::map / unordered_map, no
+                  string-keyed lookups, no stream I/O; cold helpers like
+                  RebuildPlan and Flush do that work), the flight-recorder
+                  ring append (FlightRecorder::Record in src/sim/flight.h —
+                  a masked store, so additionally no allocation or container
+                  growth), and the trace emission path (Network::EmitTrace /
+                  ::EmitTraceArmed in src/net/network.h — a gate branch plus
+                  an inline record fill). Suppress with
+                  `// lint:allow recorder-hot`.
 
 Exit status: 0 when clean, 1 when any violation is found.
 """
@@ -92,13 +96,19 @@ HOT_IO_ALLOWED_FILES = {
     "src/sim/telemetry.h",
     "src/sim/telemetry.cc",
     "src/sim/check.h",
+    # Flight-recorder dump/load: cold-path file I/O only (post-mortem spill
+    # and offline loader); the per-event Record stays in flight.h and is
+    # covered by the recorder-hot rule.
+    "src/sim/flight.cc",
     # The sweep runner writes the merged sweep manifest once per sweep —
     # orchestration-layer I/O, never per event.
     "src/sim/sweep.cc",
 }
 # packet-drop: the sanctioned drop-trace funnels. Everything else in src/
 # needs an explicit suppression tied to a counter.
-PACKET_DROP_RE = re.compile(r"EmitTrace\s*\(\s*TraceEventType::k(?:Fault)?Drop\b")
+PACKET_DROP_RE = re.compile(
+    r"EmitTrace\s*\(\s*(?:Trace|Flight)EventType::k(?:Fault)?Drop\b"
+)
 PACKET_DROP_ALLOWED_FILES = {
     "src/net/port.cc",
     "src/net/fault.cc",
@@ -154,26 +164,56 @@ UNITS_RE = re.compile(
     r"\b" + UNITS_RAW_TYPE + r"\s+(?:const\s+)?(\w*_(?:bytes|tokens|ns|bps))_?\s*(?=[;=,(){])"
 )
 
-# recorder-hot: the telemetry sampling/spill hot functions, matched by
-# qualified symbol name in src/sim/telemetry.cc and scanned brace-to-brace.
-RECORDER_HOT_FILE = "src/sim/telemetry.cc"
-RECORDER_HOT_FUNC_RE = re.compile(
-    r"\b(?:TimeSeriesRecorder::(?:Tick|AppendTo)|SpillWriter::AppendRecord)\s*\("
-)
-RECORDER_HOT_BAN_RE = re.compile(
+# recorder-hot: per-event recording hot functions, matched by symbol name
+# and scanned brace-to-brace. Each scope is (file, function regex, ban
+# regex, hint). The telemetry sampler bans lookups; the flight-recorder
+# append and trace gate additionally ban allocation and container growth —
+# those bodies are a branch plus a masked store.
+RECORDER_HOT_LOOKUP_BAN_RE = re.compile(
     r"\bstd::(?:map|unordered_map)\b"
     r"|\.(?:find|at)\s*\("
     r"|\.count\s*\(\s*[^)\s]"  # .count(key) lookups; .count() accessors are fine
     r"|\bseries_\s*\["
 )
+RECORDER_HOT_APPEND_BAN_RE = re.compile(
+    r"\bnew\b|\bmalloc\s*\(|\bstd::(?:map|unordered_map|string|vector)\b"
+    r"|\.(?:find|at|resize|reserve|push_back|emplace_back|assign|insert)\s*\("
+)
+RECORDER_HOT_SCOPES = [
+    (
+        "src/sim/telemetry.cc",
+        re.compile(
+            r"\b(?:TimeSeriesRecorder::(?:Tick|AppendTo)|SpillWriter::AppendRecord)\s*\("
+        ),
+        RECORDER_HOT_LOOKUP_BAN_RE,
+        "resolve in RebuildPlan / at Open time instead",
+    ),
+    (
+        "src/sim/flight.h",
+        re.compile(r"\b(?:void\s+Record|FlightEvent\*\s+Append)\s*\("),
+        RECORDER_HOT_APPEND_BAN_RE,
+        "the ring append is a masked store; do setup work in Arm()",
+    ),
+    (
+        "src/net/network.h",
+        re.compile(r"\bvoid\s+EmitTrace(?:Armed)?\s*\("),
+        RECORDER_HOT_APPEND_BAN_RE,
+        "the emission gate is one branch and the armed fill is direct "
+        "stores; batch-format offline instead",
+    ),
+]
 
 
-def recorder_hot_body_lines(text: str) -> list[tuple[int, str]]:
-    """(lineno, line) pairs inside the recorder hot-function bodies."""
+def recorder_hot_body_lines(text: str, func_re: re.Pattern) -> list[tuple[int, str]]:
+    """(lineno, line) pairs inside the matched hot-function bodies."""
     out = []
-    for m in RECORDER_HOT_FUNC_RE.finditer(text):
+    for m in func_re.finditer(text):
         open_brace = text.find("{", m.end())
         if open_brace < 0:
+            continue
+        # A declaration ends in ';' before any '{': skip it, or the scan
+        # would brace-match some unrelated later body.
+        if ";" in text[m.end():open_brace]:
             continue
         depth = 0
         end = open_brace
@@ -196,23 +236,23 @@ def allow(line: str, tag: str) -> bool:
     return f"lint:allow {tag}" in line
 
 
-def lint_recorder_hot(text: str, rel: str) -> list[str]:
+def lint_recorder_hot(
+    text: str, rel: str, func_re: re.Pattern, ban_re: re.Pattern, hint: str
+) -> list[str]:
     errors = []
-    for lineno, raw in recorder_hot_body_lines(text):
+    for lineno, raw in recorder_hot_body_lines(text, func_re):
         code = LINE_COMMENT_RE.sub("", raw)
         if allow(raw, "recorder-hot"):
             continue
-        if RECORDER_HOT_BAN_RE.search(code):
+        if ban_re.search(code):
             errors.append(
-                f"{rel}:{lineno}: [recorder-hot] no map/string-keyed lookups "
-                "in the recorder tick / spill append hot path — resolve in "
-                "RebuildPlan / at Open time instead"
+                f"{rel}:{lineno}: [recorder-hot] banned construct in a "
+                f"recording hot path — {hint}"
             )
         if HOT_IO_RE.search(code):
             errors.append(
-                f"{rel}:{lineno}: [recorder-hot] no stream/printf I/O in the "
-                "recorder tick / spill append hot path — batch into the "
-                "buffer and write in Flush()"
+                f"{rel}:{lineno}: [recorder-hot] no stream/printf I/O in a "
+                f"recording hot path — {hint}"
             )
     return errors
 
@@ -222,8 +262,9 @@ def lint_file(path: Path, rel: str) -> list[str]:
     mutex_decls: list[tuple[int, str]] = []  # (lineno, mutex name)
     guarded_names: set[str] = set()
     text = path.read_text()
-    if rel == RECORDER_HOT_FILE:
-        errors.extend(lint_recorder_hot(text, rel))
+    for scope_file, func_re, ban_re, hint in RECORDER_HOT_SCOPES:
+        if rel == scope_file:
+            errors.extend(lint_recorder_hot(text, rel, func_re, ban_re, hint))
     for lineno, raw in enumerate(text.splitlines(), start=1):
         m = INCLUDE_RE.match(raw)
         if m and not m.group(1).startswith(ROOT_PREFIXES):

@@ -2,6 +2,7 @@
 """Validator for telemetry run directories (stdlib only; used by ci.sh).
 
 Usage: telemetry_schema.py RUN_DIR [RUN_DIR ...]
+       telemetry_schema.py --flight DIR [DIR ...]
 
 Checks the files the exporter (src/sim/telemetry.cc) writes per run:
 
@@ -23,6 +24,24 @@ Checks the files the exporter (src/sim/telemetry.cc) writes per run:
 
 At least one of metrics.tfcb / metrics.jsonl must exist.
 
+Flight-recorder artifacts (src/sim/flight.cc) are validated when present in
+a run directory, or standalone via `--flight DIR`:
+
+  flight.tfct           binary ring dump: "TFCT" magic, u32 version (=1),
+                        u32 record_bytes (=40), u32 node_count,
+                        u64 recorded_total, u64 event_count, a name table
+                        ({u32 len, bytes} per node), then fixed 40-byte
+                        little-endian records {i64 time_ns, u64 seq, i32 a,
+                        i32 b, i32 c, i32 flow, i16 node, i16 port, u8 type,
+                        u8 ptype, u8 flags, u8 weight}. Timestamps must be
+                        non-decreasing (the ring preserves record order),
+                        types in range, and event_count <= recorded_total.
+  trace.perfetto.json   Chrome trace-event export (`tfcsim --export-trace`):
+                        a traceEvents array whose non-metadata events have
+                        non-decreasing ts, whose "X" slices have dur >= 0,
+                        and whose async "b"/"e" span pairs balance per
+                        (cat, id).
+
 Exit status: 0 when every directory validates, 1 otherwise.
 """
 
@@ -36,6 +55,13 @@ TFCB_MAGIC = b"TFCB"
 TFCB_VERSION = 1
 TFCB_HEADER = struct.Struct("<4sIIQ")   # magic, version, series, records
 TFCB_RECORD = struct.Struct("<IQd")     # series_id, t_ns, v
+
+TFCT_MAGIC = b"TFCT"
+TFCT_VERSION = 1
+TFCT_HEADER = struct.Struct("<4sIIIQQ")  # magic, version, record_bytes,
+                                         # node_count, recorded_total, events
+TFCT_RECORD = struct.Struct("<qQiiiihhBBBB")
+TFCT_EVENT_TYPE_COUNT = 23  # kFlightEventTypeCount (src/sim/flight.h)
 
 
 class Checker:
@@ -179,6 +205,127 @@ def check_metrics_jsonl(path: Path, ck: Checker) -> int:
     return lines
 
 
+def check_flight_tfct(path: Path, ck: Checker) -> int:
+    """Validates a flight-recorder dump; returns its event count (0 on error)."""
+    where = str(path)
+    data = path.read_bytes()
+    if len(data) < TFCT_HEADER.size:
+        ck.error(where, f"truncated header ({len(data)} bytes)")
+        return 0
+    magic, version, record_bytes, node_count, recorded_total, event_count = \
+        TFCT_HEADER.unpack_from(data)
+    if not ck.expect(magic == TFCT_MAGIC, where, f"bad magic {magic!r}"):
+        return 0
+    if not ck.expect(version == TFCT_VERSION, where,
+                     f"version must be {TFCT_VERSION}, got {version}"):
+        return 0
+    if not ck.expect(record_bytes == TFCT_RECORD.size, where,
+                     f"record size must be {TFCT_RECORD.size}, got {record_bytes}"):
+        return 0
+    ck.expect(event_count <= recorded_total, where,
+              f"ring holds {event_count} events but only {recorded_total} "
+              "were ever recorded")
+    off = TFCT_HEADER.size
+    for i in range(node_count):
+        if off + 4 > len(data):
+            ck.error(where, f"truncated node-name table at entry {i}")
+            return 0
+        (length,) = struct.unpack_from("<I", data, off)
+        off += 4
+        if off + length > len(data):
+            ck.error(where, f"truncated node-name table at entry {i}")
+            return 0
+        try:
+            data[off:off + length].decode("utf-8")
+        except UnicodeDecodeError:
+            ck.error(where, f"node name {i} is not valid UTF-8")
+        off += length
+    body = len(data) - off
+    if not ck.expect(body == event_count * TFCT_RECORD.size, where,
+                     f"event section is {body} bytes, header promises "
+                     f"{event_count * TFCT_RECORD.size}"):
+        return 0
+    prev_time = None
+    for i in range(event_count):
+        time_ns, _seq, _a, _b, _c, flow, node, port, etype, _pt, _fl, _w = \
+            TFCT_RECORD.unpack_from(data, off)
+        off += TFCT_RECORD.size
+        loc = f"{where} event[{i}]"
+        ck.expect(time_ns >= 0, loc, f"negative timestamp {time_ns}")
+        ck.expect(prev_time is None or time_ns >= prev_time, loc,
+                  f"time went backwards: {prev_time} -> {time_ns}")
+        prev_time = time_ns
+        if not ck.expect(etype < TFCT_EVENT_TYPE_COUNT, loc,
+                         f"unknown event type {etype}"):
+            return 0
+        ck.expect(flow >= -1, loc, f"bad flow id {flow}")
+        ck.expect(node >= -1, loc, f"bad node id {node}")
+        ck.expect(port >= -1, loc, f"bad port index {port}")
+    return event_count
+
+
+def check_perfetto_json(path: Path, ck: Checker) -> int:
+    """Validates a Chrome trace-event export; returns its event count."""
+    doc = load_json(path, ck)
+    if doc is None:
+        return 0
+    where = str(path)
+    if not ck.expect(isinstance(doc, dict), where, "top level must be an object"):
+        return 0
+    events = doc.get("traceEvents")
+    if not ck.expect(isinstance(events, list), where,
+                     '"traceEvents" must be a list'):
+        return 0
+    prev_ts = None
+    open_spans = {}  # (cat, id) -> open-begin depth
+    for i, ev in enumerate(events):
+        loc = f"{where} traceEvents[{i}]"
+        if not ck.expect(isinstance(ev, dict), loc, "event must be an object"):
+            continue
+        ph = ev.get("ph")
+        if not ck.expect(isinstance(ph, str) and ph, loc,
+                         '"ph" must be a non-empty string'):
+            continue
+        if ph == "M":
+            ck.expect(isinstance(ev.get("name"), str), loc,
+                      "metadata needs a name")
+            continue
+        ts = ev.get("ts")
+        if not ck.expect(is_number(ts), loc, '"ts" must be a number'):
+            continue
+        ck.expect(prev_ts is None or ts >= prev_ts - 1e-9, loc,
+                  f"ts went backwards: {prev_ts} -> {ts}")
+        prev_ts = ts
+        if ph == "X":
+            ck.expect(is_number(ev.get("dur")) and ev.get("dur") >= 0, loc,
+                      'slice "dur" must be a non-negative number')
+        elif ph == "b":
+            key = (ev.get("cat"), ev.get("id"))
+            open_spans[key] = open_spans.get(key, 0) + 1
+        elif ph == "e":
+            key = (ev.get("cat"), ev.get("id"))
+            if not ck.expect(open_spans.get(key, 0) > 0, loc,
+                             f"span end without begin for {key}"):
+                continue
+            open_spans[key] -= 1
+    for key, depth in open_spans.items():
+        ck.expect(depth == 0, where, f"unclosed async span {key}")
+    return len(events)
+
+
+def check_flight_dir(run_dir: Path, ck: Checker) -> int:
+    """Validates a directory's flight artifacts; returns the event count."""
+    tfct = run_dir / "flight.tfct"
+    if not tfct.exists():
+        ck.error(str(tfct), "missing")
+        return 0
+    events = check_flight_tfct(tfct, ck)
+    perfetto = run_dir / "trace.perfetto.json"
+    if perfetto.exists():
+        check_perfetto_json(perfetto, ck)
+    return events
+
+
 def check_histogram(h, where: str, ck: Checker) -> None:
     if not ck.expect(isinstance(h, dict), where, "histogram must be an object"):
         return
@@ -252,6 +399,9 @@ def check_run_dir(run_dir: Path, ck: Checker) -> int:
         else:
             samples = jsonl_samples
     check_summary(run_dir / "summary.json", ck)
+    # Flight-recorder artifacts ride along when the run was armed.
+    if (run_dir / "flight.tfct").exists():
+        check_flight_dir(run_dir, ck)
     return samples
 
 
@@ -260,13 +410,27 @@ def main(argv: list[str]) -> int:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     ck = Checker()
-    for arg in argv[1:]:
+    args = argv[1:]
+    flight_only = False
+    if args and args[0] == "--flight":
+        flight_only = True
+        args = args[1:]
+        if not args:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+    for arg in args:
         run_dir = Path(arg)
         if not run_dir.is_dir():
             ck.error(arg, "not a directory")
             continue
-        samples = check_run_dir(run_dir, ck)
-        print(f"telemetry_schema.py: {run_dir}: {samples} samples", file=sys.stderr)
+        if flight_only:
+            events = check_flight_dir(run_dir, ck)
+            print(f"telemetry_schema.py: {run_dir}: {events} flight event(s)",
+                  file=sys.stderr)
+        else:
+            samples = check_run_dir(run_dir, ck)
+            print(f"telemetry_schema.py: {run_dir}: {samples} samples",
+                  file=sys.stderr)
     for e in ck.errors:
         print(e)
     print(f"telemetry_schema.py: {len(ck.errors)} violation(s)", file=sys.stderr)

@@ -2,7 +2,7 @@
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
 #   ./ci.sh            full matrix: release, asan-ubsan, hardened, tsan, lint,
-#                      tidy, units, telemetry, trace, chaos
+#                      tidy, units, telemetry, trace, chaos, sweep
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -33,9 +33,12 @@ leg_tsan() {
   run_preset tsan
   echo "--- [tsan] tfcsim --sweep smoke (parallel CLI path under TSan) ---"
   cmake --build build-tsan -j "$(nproc)" --target tfcsim
+  # --in-process pins the legacy thread-pool executor: this smoke exists to
+  # race-check the worker pool, which the default fork-based supervisor
+  # (single-threaded parent) would bypass.
   ./build-tsan/examples/tfcsim --workload=incast --protocol=all \
       --topology=testbed --senders=6 --block_kb=64 --rounds=2 \
-      --sweep=4 --jobs=4 --telemetry-dir=build-tsan/sweep-smoke
+      --sweep=4 --jobs=4 --in-process --telemetry-dir=build-tsan/sweep-smoke
 }
 leg_tidy()       { echo "=== [tidy] tools/tidy.sh ==="; bash tools/tidy.sh build; }
 
@@ -163,6 +166,62 @@ leg_chaos() {
       --gtest_filter='ChaosTest.DifferentSeedsProduceDifferentSchedules'
 }
 
+# Supervised-sweep crash drill (docs/robustness.md "Supervised sweeps"):
+# (1) a sweep with one force-tripped run must complete every other run,
+#     write a partial sweep.json naming the failure (with the salvaged
+#     post-mortem flight.tfct), and exit nonzero;
+# (2) --resume must re-execute only the crashed run and go green;
+# (3) the recovered sweep must be byte-identical, run for run, to a clean
+#     serial in-process sweep — supervision and resumption never change
+#     what a run computes.
+# CI uploads build/sweep-smoke as the workflow's post-mortem artifact.
+leg_sweep() {
+  echo "=== [sweep] supervised sweep: crash isolation + resume + identity ==="
+  cmake --preset release
+  cmake --build build -j "$(nproc)" --target tfcsim
+  local dir=build/sweep-smoke
+  rm -rf "${dir}"
+  local common=(--workload=incast --protocol=tfc --topology=testbed
+                --senders=6 --block_kb=64 --rounds=3 --seed=9
+                --sweep=3 --trace-ring=16384)
+
+  echo "--- [sweep] one tripped run fails alone, siblings complete ---"
+  local rc=0
+  ./build/examples/tfcsim "${common[@]}" --jobs=3 \
+      --telemetry-dir="${dir}/supervised" \
+      --force-audit-trip=3000 --trip-run=1 || rc=$?
+  [[ "${rc}" -ne 0 ]] || { echo "sweep: tripped sweep exited 0" >&2; return 1; }
+  [[ -s "${dir}/supervised/sweep.json" ]] || {
+    echo "sweep: no partial sweep.json after the crash" >&2; return 1; }
+  grep -q '"status": "failed"' "${dir}/supervised/sweep.json"
+  grep -q '"salvaged": \["flight.tfct"\]' "${dir}/supervised/sweep.json"
+  [[ -s "${dir}/supervised/run-0001/flight.tfct" ]] || {
+    echo "sweep: crashed run's post-mortem was not salvaged" >&2; return 1; }
+  python3 tools/telemetry_schema.py --sweep "${dir}/supervised"
+  echo "sweep: partial sweep.json validates, post-mortem salvaged"
+
+  echo "--- [sweep] --resume re-executes only the crashed run ---"
+  rm -f "${dir}/supervised/run-0001/flight.tfct"
+  ./build/examples/tfcsim "${common[@]}" --jobs=3 \
+      --telemetry-dir="${dir}/supervised" --resume | tee "${dir}/resume.log"
+  [[ "$(grep -c 'skipped-cached' "${dir}/resume.log")" -eq 2 ]] || {
+    echo "sweep: resume did not skip the two completed runs" >&2; return 1; }
+  grep -q '"status": "ok"' "${dir}/supervised/sweep.json"
+  python3 tools/telemetry_schema.py --sweep "${dir}/supervised"
+  echo "sweep: resume completed only the missing run"
+
+  echo "--- [sweep] recovered sweep == clean serial in-process sweep ---"
+  ./build/examples/tfcsim "${common[@]}" --jobs=1 --in-process \
+      --telemetry-dir="${dir}/clean" >/dev/null
+  local run
+  for run in run-0000 run-0001 run-0002; do
+    cmp "${dir}/supervised/${run}/metrics.tfcb" "${dir}/clean/${run}/metrics.tfcb"
+    cmp "${dir}/supervised/${run}/summary.json" "${dir}/clean/${run}/summary.json"
+    cmp "${dir}/supervised/${run}/flight.tfct" "${dir}/clean/${run}/flight.tfct"
+  done
+  echo "sweep: supervised+resumed outputs byte-identical to clean serial"
+}
+
 case "${1:-all}" in
   release)    leg_release ;;
   asan-ubsan) leg_asan_ubsan ;;
@@ -174,6 +233,7 @@ case "${1:-all}" in
   telemetry)  leg_telemetry ;;
   trace)      leg_trace ;;
   chaos)      leg_chaos ;;
+  sweep)      leg_sweep ;;
   all)
     leg_release
     leg_asan_ubsan
@@ -185,10 +245,11 @@ case "${1:-all}" in
     leg_telemetry
     leg_trace
     leg_chaos
+    leg_sweep
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|units|telemetry|trace|chaos|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|units|telemetry|trace|chaos|sweep|all]" >&2
     exit 2
     ;;
 esac

@@ -25,7 +25,10 @@
 //   --fault-spec=SPEC         inject faults (see src/net/fault.h), e.g.
 //                             drop=0.01,flap=5ms/500us,wipe=10ms,seed=7
 //   --sweep=N                 run N independent repetitions (seeds seed..seed+N-1)
-//   --jobs=J                  sweep worker threads (default: all hardware threads)
+//   --jobs=J                  concurrent sweep runs (default: all hardware threads)
+//   --retry=N --run-timeout=S --resume --backoff-ms=MS   supervised-sweep knobs
+//   --watchdog=S              per-run no-progress detector (sim seconds)
+//   --in-process              legacy thread-pool sweep (no crash isolation)
 
 #include <cstdarg>
 #include <cstdio>
@@ -40,6 +43,7 @@
 
 #include "src/net/fault.h"
 #include "src/net/trace.h"
+#include "src/sim/supervisor.h"
 #include "src/sim/sweep.h"
 #include "src/sim/telemetry.h"
 #include "src/topo/topologies.h"
@@ -73,14 +77,24 @@ struct Options {
   uint64_t trace_ring = 0;  // flight-recorder capacity (0 = disarmed)
   std::string export_trace_dir;
   uint64_t force_audit_trip_us = 0;  // schedule a failing audit (testing)
+  int trip_run = -1;        // sweep repetition the forced trip applies to (-1 = all)
+  int retry = 0;            // supervised sweeps: extra attempts per failed run
+  double run_timeout_s = 0; // supervised sweeps: per-run wall-clock limit
+  int backoff_ms = 250;     // supervised sweeps: first retry delay
+  bool resume = false;      // supervised sweeps: skip done-marker-verified runs
+  double watchdog_s = -1;   // no-progress stall threshold (sim s); -1 = default
+  bool in_process = false;  // legacy thread-pool sweep (no crash isolation)
 };
 
-// Buffered per-run output: sweep workers must never write to stdout directly
-// (parallel runs would interleave), so every run appends here and main()
-// prints reports in submission order. Identical bytes whether the run
-// executed serially or on a pool.
+// Buffered per-run output: sweep jobs must never write to stdout directly
+// (parallel runs would interleave), so every run appends to the caller's
+// string and main() prints reports in submission order. Identical bytes
+// whether the run executed serially, on a pool, or in a forked child.
+// Writing *through* to the result slot (instead of copying at job end)
+// preserves everything written before a mid-run throw or crash.
 struct Report {
-  std::string text;
+  explicit Report(std::string* out) : text(*out) {}
+  std::string& text;
 
   __attribute__((format(printf, 2, 3))) void Printf(const char* fmt, ...) {
     va_list args;
@@ -129,8 +143,22 @@ void PrintHelp() {
       "                            (keys: drop dup reorder reorder_delay ge\n"
       "                             flap wipe host_down start stop seed)\n"
       "  --sweep=N        run N repetitions with seeds seed..seed+N-1;\n"
-      "                   telemetry lands in DIR/run-NNNN, DIR/sweep.json merges\n"
-      "  --jobs=J         sweep worker threads (default: hardware threads)");
+      "                   telemetry lands in DIR/run-NNNN, DIR/sweep.json merges;\n"
+      "                   each run executes in its own forked child (a crashing\n"
+      "                   run cannot take the sweep down)\n"
+      "  --jobs=J         concurrent sweep runs (default: hardware threads)\n"
+      "  --retry=N        extra attempts per failed sweep run; two attempts that\n"
+      "                   die the same way stop early (deterministic failure)\n"
+      "  --run-timeout=S  SIGKILL a sweep run after S wall-clock seconds\n"
+      "  --backoff-ms=MS  first retry delay, doubling per failure (default 250)\n"
+      "  --resume         skip sweep runs whose done marker verifies against\n"
+      "                   (config, seed, git describe, schema); needs\n"
+      "                   --telemetry-dir\n"
+      "  --trip-run=K     apply --force-audit-trip to sweep repetition K only\n"
+      "  --watchdog=S     abort a run that makes no progress for S sim-seconds\n"
+      "                   (default: 5 in sweep mode, off single-run; 0 disables)\n"
+      "  --in-process     legacy thread-pool sweep: faster startup, but a\n"
+      "                   crashing run aborts the whole sweep");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -234,6 +262,40 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
         });
   }
 
+  // Liveness watchdog (default-on in sweep mode): samples the total bytes
+  // every port has transmitted; a workload that is neither done nor moving
+  // any bytes for watchdog_s sim-seconds aborts through the TFC_CHECK
+  // funnel, which drains any armed flight recorder to flight.tfct first.
+  // Ticks are daemon events, so the watchdog never keeps drain-mode Run()
+  // alive and never perturbs what the simulation computes.
+  std::unique_ptr<LivenessWatchdog> watchdog;
+  if (opt.watchdog_s > 0) {
+    watchdog = std::make_unique<LivenessWatchdog>(&net.scheduler(),
+                                                  Seconds(opt.watchdog_s / 4.0),
+                                                  Seconds(opt.watchdog_s));
+    watchdog->set_abort_on_stall(true);
+  }
+  Network* const net_for_watch = &net;
+  const auto arm_watchdog = [&watchdog,
+                             net_for_watch](LivenessWatchdog::DoneFn done) {
+    if (watchdog == nullptr) {
+      return;
+    }
+    watchdog->Watch(
+        "workload",
+        [net_for_watch] {
+          double total = 0;
+          for (const auto& node : net_for_watch->nodes()) {
+            for (const auto& port : node->ports()) {
+              total += static_cast<double>(port->tx_bytes());
+            }
+          }
+          return total;
+        },
+        std::move(done));
+    watchdog->Start();
+  };
+
   // The injector owns daemon timers into the scheduler, so it must die
   // before the Network: declare it after `net`.
   std::unique_ptr<FaultInjector> inject;
@@ -296,6 +358,9 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
                                              responders, cfg);
     IncastApp& app = *incast_app;
     app.Start();
+    arm_watchdog([app_ptr = &app, rounds = opt.rounds] {
+      return app_ptr->rounds_completed() >= rounds;
+    });
     // Drain-mode Run(): finishes when the workload does, and recorder
     // daemon ticks never keep it alive (unlike RunUntil with a horizon).
     net.scheduler().Run();
@@ -327,6 +392,9 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
     shuffle_app = std::make_unique<ShuffleApp>(&net, suite, participants, cfg);
     ShuffleApp& app = *shuffle_app;
     app.Start();
+    arm_watchdog([app_ptr = &app] {
+      return app_ptr->flows_completed() >= app_ptr->flows_total();
+    });
     net.scheduler().Run();
     PortTotals totals = SwitchTotals(net);
     rep.Printf("flows=%zu/%zu elapsed=%.3fs goodput=%.1fMbps timeouts=%llu "
@@ -343,6 +411,9 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
           suite.MakeSender(&net, topo.hosts[static_cast<size_t>(i)], topo.hosts[0])));
       flows.back()->Start();
     }
+    // Persistent flows are never "done": only the duration horizon ends the
+    // run, so any sustained silence is a genuine stall.
+    arm_watchdog([] { return false; });
     net.scheduler().RunUntil(Seconds(opt.duration_s));
     uint64_t delivered = 0;
     for (auto& f : flows) {
@@ -359,6 +430,10 @@ int RunOne(const Options& opt, Protocol protocol, const std::string& run_dir,
     bench_app = std::make_unique<BenchmarkTrafficApp>(&net, suite, topo.hosts, cfg);
     BenchmarkTrafficApp& app = *bench_app;
     app.Start();
+    arm_watchdog([app_ptr = &app, net_for_watch, stop = Seconds(opt.duration_s)] {
+      return net_for_watch->scheduler().now() >= stop &&
+             app_ptr->flows_completed() >= app_ptr->flows_started();
+    });
     net.scheduler().RunUntil(Seconds(opt.duration_s) + Seconds(30));
     rep.Printf("flows=%llu/%llu query FCT: mean=%.1fus 99th=%.1fus 99.9th=%.1fus "
                 "timeouts=%llu\n",
@@ -485,6 +560,20 @@ int main(int argc, char** argv) {
       opt.sweep = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "jobs", &value)) {
       opt.jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "retry", &value)) {
+      opt.retry = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "run-timeout", &value)) {
+      opt.run_timeout_s = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "backoff-ms", &value)) {
+      opt.backoff_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "trip-run", &value)) {
+      opt.trip_run = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "watchdog", &value)) {
+      opt.watchdog_s = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      opt.resume = true;
+    } else if (std::strcmp(arg, "--in-process") == 0) {
+      opt.in_process = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg);
       return 1;
@@ -518,7 +607,8 @@ int main(int argc, char** argv) {
   }
   if (opt.senders < 1 || opt.flows < 1 || opt.rounds < 1 || opt.gbps < 1 ||
       opt.duration_s <= 0 || opt.telemetry_interval_us < 1 || opt.sweep < 1 ||
-      opt.jobs < 0) {
+      opt.jobs < 0 || opt.retry < 0 || opt.run_timeout_s < 0 ||
+      opt.backoff_ms < 1) {
     std::fprintf(stderr, "numeric flags must be positive\n");
     return 1;
   }
@@ -532,10 +622,34 @@ int main(int argc, char** argv) {
                          "(each run dumps flight.tfct into its run directory)\n");
     return 1;
   }
-  if (opt.sweep > 1 && opt.force_audit_trip_us > 0) {
-    std::fprintf(stderr, "--force-audit-trip and --sweep cannot combine "
-                         "(the trip aborts the whole process)\n");
+  if (opt.sweep == 1 && (opt.resume || opt.retry > 0 || opt.run_timeout_s > 0 ||
+                         opt.trip_run >= 0 || opt.in_process)) {
+    std::fprintf(stderr, "--resume/--retry/--run-timeout/--trip-run/--in-process "
+                         "require --sweep\n");
     return 1;
+  }
+  if (opt.in_process && (opt.resume || opt.retry > 0 || opt.run_timeout_s > 0 ||
+                         opt.trip_run >= 0)) {
+    std::fprintf(stderr, "--in-process is the legacy thread-pool sweep: it cannot "
+                         "combine with --resume/--retry/--run-timeout/--trip-run\n");
+    return 1;
+  }
+  if (opt.sweep > 1 && opt.force_audit_trip_us > 0 && opt.in_process) {
+    std::fprintf(stderr, "--force-audit-trip with --in-process --sweep would "
+                         "abort the whole process; drop --in-process so the trip "
+                         "is contained to its own child\n");
+    return 1;
+  }
+  if (opt.resume && opt.telemetry_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --telemetry-dir "
+                         "(done markers live in the run directories)\n");
+    return 1;
+  }
+  // Watchdog default: on (5 sim-seconds) for sweep runs — a silently hung
+  // run should fail loudly, not pin a worker slot — off for interactive
+  // single runs. --watchdog=0 disables it everywhere.
+  if (opt.watchdog_s < 0) {
+    opt.watchdog_s = opt.sweep > 1 ? 5.0 : 0.0;
   }
 
   std::vector<tfc::Protocol> protocols;
@@ -559,9 +673,10 @@ int main(int argc, char** argv) {
       if (!run_dir.empty() && protocols.size() > 1) {
         run_dir += std::string("/") + tfc::ProtocolName(p);
       }
-      Report rep;
+      std::string text;
+      Report rep(&text);
       const int rc = RunOne(opt, p, run_dir, rep);
-      std::fputs(rep.text.c_str(), stdout);
+      std::fputs(text.c_str(), stdout);
       if (rc != 0) {
         return rc;
       }
@@ -570,46 +685,159 @@ int main(int argc, char** argv) {
   }
 
   // Sweep mode: one job per (repetition, protocol), each with its own seed
-  // and telemetry subdirectory, executed on the worker pool. Every job owns
-  // a complete simulation instance; reports print in submission order.
+  // and telemetry subdirectory. The default executor forks every run into
+  // its own child process (crash isolation, per-run timeout, retry with
+  // backoff, done-marker resume); --in-process keeps the legacy thread-pool
+  // runner. Either way, reports print in submission order.
   const int workers = opt.jobs > 0 ? opt.jobs : tfc::SweepRunner::DefaultWorkers();
-  tfc::SweepRunner runner(workers);
+
+  struct SweepJob {
+    std::string name;
+    std::string run_dir;
+    uint64_t seed = 0;
+    tfc::Protocol protocol = tfc::Protocol::kTfc;
+    Options options;
+  };
+  std::vector<SweepJob> jobs;
   for (int i = 0; i < opt.sweep; ++i) {
     char run_name[32];
     std::snprintf(run_name, sizeof run_name, "run-%04d", i);
     for (tfc::Protocol p : protocols) {
-      std::string name = run_name;
+      SweepJob job;
+      job.name = run_name;
       if (protocols.size() > 1) {
-        name += std::string("/") + tfc::ProtocolName(p);
+        job.name += std::string("/") + tfc::ProtocolName(p);
       }
-      Options job_opt = opt;
-      job_opt.seed = opt.seed + static_cast<uint64_t>(i);
-      std::string run_dir;
+      job.protocol = p;
+      job.seed = opt.seed + static_cast<uint64_t>(i);
       if (!opt.telemetry_dir.empty()) {
-        run_dir = opt.telemetry_dir + "/" + name;
+        job.run_dir = opt.telemetry_dir + "/" + job.name;
       }
-      runner.Add(name, [job_opt, p, run_dir](std::string* report) {
-        Report rep;
-        const int rc = RunOne(job_opt, p, run_dir, rep);
-        *report = std::move(rep.text);
-        return rc;
+      job.options = opt;
+      job.options.seed = job.seed;
+      // The forced audit trip targets one repetition (--trip-run=K): the
+      // others run clean, which is what makes crash isolation observable.
+      if (opt.trip_run >= 0 && i != opt.trip_run) {
+        job.options.force_audit_trip_us = 0;
+      }
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // Cache-key fingerprint: every flag that influences a run's *output*.
+  // Execution-only knobs (--jobs, --retry, --run-timeout, --backoff-ms,
+  // --watchdog, --trip-run, --force-audit-trip, --trace-ring) are excluded
+  // on purpose: a run that completed under different supervision is still
+  // the same run, so `--resume` after a crashed or force-tripped sweep
+  // reuses every run that finished clean.
+  const auto fingerprint = [&opt](tfc::Protocol p) {
+    std::string fp;
+    fp += "workload=" + opt.workload;
+    fp += "|protocol=" + std::string(tfc::ProtocolName(p));
+    fp += "|topology=" + opt.topology;
+    fp += "|senders=" + std::to_string(opt.senders);
+    fp += "|flows=" + std::to_string(opt.flows);
+    fp += "|block_kb=" + std::to_string(opt.block_kb);
+    fp += "|rounds=" + std::to_string(opt.rounds);
+    fp += "|duration_s=" + std::to_string(opt.duration_s);
+    fp += "|gbps=" + std::to_string(opt.gbps);
+    fp += "|fault_spec=" + opt.fault_spec;
+    fp += "|telemetry_interval_us=" + std::to_string(opt.telemetry_interval_us);
+    return fp;
+  };
+
+  int exit_code = 0;
+  std::vector<tfc::SweepRunRow> rows;
+  std::vector<std::string> failed_names;
+  if (opt.in_process) {
+    tfc::SweepRunner runner(workers);
+    for (const SweepJob& job : jobs) {
+      const Options job_opt = job.options;
+      const tfc::Protocol p = job.protocol;
+      const std::string run_dir = job.run_dir;
+      runner.Add(job.name, [job_opt, p, run_dir](std::string* report) {
+        // Report writes *through* to the result slot, so output buffered
+        // before a mid-run throw survives into SweepResult::report.
+        Report rep(report);
+        return RunOne(job_opt, p, run_dir, rep);
       });
     }
-  }
-  const std::vector<tfc::SweepResult> results = runner.Run();
-  int exit_code = 0;
-  for (const tfc::SweepResult& r : results) {
-    std::printf("=== %s (seed %llu, %.3fs) ===\n", r.name.c_str(),
-                static_cast<unsigned long long>(
-                    opt.seed + static_cast<uint64_t>(r.index) /
-                                   static_cast<uint64_t>(protocols.size())),
-                r.wall_seconds);
-    std::fputs(r.report.c_str(), stdout);
-    if (r.exit_code != 0) {
-      std::printf("(exit code %d)\n", r.exit_code);
-      exit_code = exit_code == 0 ? r.exit_code : exit_code;
+    for (const tfc::SweepResult& r : runner.Run()) {
+      std::printf("=== %s (seed %llu, %.3fs) ===\n", r.name.c_str(),
+                  static_cast<unsigned long long>(
+                      jobs[static_cast<size_t>(r.index)].seed),
+                  r.wall_seconds);
+      std::fputs(r.report.c_str(), stdout);
+      if (r.exit_code != 0) {
+        std::printf("(exit code %d)\n", r.exit_code);
+        exit_code = exit_code == 0 ? r.exit_code : exit_code;
+        failed_names.push_back(r.name);
+      }
+      tfc::SweepRunRow row;
+      row.index = r.index;
+      row.name = r.name;
+      row.status = r.exit_code == 0 ? "ok" : "failed";
+      row.exit_code = r.exit_code;
+      row.wall_seconds = r.wall_seconds;
+      rows.push_back(std::move(row));
+    }
+  } else {
+    tfc::SupervisorOptions sup;
+    sup.workers = workers;
+    sup.max_retries = opt.retry;
+    sup.timeout_s = opt.run_timeout_s;
+    sup.backoff_base_ms = opt.backoff_ms;
+    sup.resume = opt.resume;
+    tfc::RunSupervisor supervisor(sup);
+    for (const SweepJob& job : jobs) {
+      const Options job_opt = job.options;
+      const tfc::Protocol p = job.protocol;
+      const std::string run_dir = job.run_dir;
+      std::string cache_key;
+      if (!run_dir.empty()) {
+        cache_key = tfc::SweepCacheKey(fingerprint(p), job.seed);
+      }
+      supervisor.Add(job.name, run_dir, cache_key,
+                     [job_opt, p, run_dir](std::string* report) {
+                       Report rep(report);
+                       return RunOne(job_opt, p, run_dir, rep);
+                     });
+    }
+    for (const tfc::SupervisedResult& r : supervisor.Run()) {
+      std::string annot;
+      if (r.status != tfc::RunStatus::kOk || r.attempts > 1) {
+        annot = std::string(" [") + tfc::RunStatusName(r.status);
+        if (r.attempts != 1) {
+          annot += ", attempts=" + std::to_string(r.attempts);
+        }
+        annot += "]";
+      }
+      std::printf("=== %s (seed %llu, %.3fs)%s ===\n", r.name.c_str(),
+                  static_cast<unsigned long long>(
+                      jobs[static_cast<size_t>(r.index)].seed),
+                  r.wall_seconds, annot.c_str());
+      std::fputs(r.report.c_str(), stdout);
+      if (!r.ok()) {
+        std::printf("(exit code %d)\n", r.exit_code);
+        const int rc = r.exit_code != 0 ? r.exit_code : 1;
+        exit_code = exit_code == 0 ? rc : exit_code;
+        failed_names.push_back(r.name);
+      }
+      tfc::SweepRunRow row;
+      row.index = r.index;
+      row.name = r.name;
+      row.status = tfc::RunStatusName(r.status);
+      row.exit_code = r.exit_code;
+      row.signal = r.term_signal;
+      row.attempts = r.attempts;
+      row.wall_seconds = r.wall_seconds;
+      row.salvaged = r.salvaged;
+      rows.push_back(std::move(row));
     }
   }
+
+  // The merged manifest is written even when runs failed — a degraded sweep
+  // still ships a queryable sweep.json naming every failure.
   if (!opt.telemetry_dir.empty()) {
     tfc::RunManifest sweep_manifest;
     sweep_manifest.Set("tool", "tfcsim");
@@ -619,17 +847,31 @@ int main(int argc, char** argv) {
     sweep_manifest.SetInt("base_seed", static_cast<int64_t>(opt.seed));
     sweep_manifest.SetInt("sweep", opt.sweep);
     sweep_manifest.SetInt("jobs", workers);
+    sweep_manifest.Set("executor", opt.in_process ? "in-process" : "supervised");
+    if (!opt.in_process) {
+      sweep_manifest.SetInt("retry", opt.retry);
+      sweep_manifest.SetDouble("run_timeout_s", opt.run_timeout_s);
+      sweep_manifest.SetBool("resume", opt.resume);
+    }
     if (!opt.fault_spec.empty()) {
       sweep_manifest.Set("fault_spec", opt.fault_spec);
     }
     std::string error;
-    if (!tfc::WriteSweepManifest(opt.telemetry_dir + "/sweep.json", sweep_manifest,
-                                 results, &error)) {
+    if (!tfc::WriteSweepManifestRows(opt.telemetry_dir + "/sweep.json",
+                                     sweep_manifest, rows, &error)) {
       std::fprintf(stderr, "sweep manifest failed: %s\n", error.c_str());
       return exit_code != 0 ? exit_code : 1;
     }
     std::printf("sweep: %d runs x %zu protocol(s) on %d worker(s) -> %s/sweep.json\n",
                 opt.sweep, protocols.size(), workers, opt.telemetry_dir.c_str());
+  }
+  if (!failed_names.empty()) {
+    std::string names;
+    for (const std::string& n : failed_names) {
+      names += (names.empty() ? "" : ", ") + n;
+    }
+    std::fprintf(stderr, "sweep: %zu run(s) failed: %s\n", failed_names.size(),
+                 names.c_str());
   }
   return exit_code;
 }

@@ -90,9 +90,9 @@ std::vector<SweepResult> SweepRunner::Run() {
   return std::move(results_);
 }
 
-bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
-                        const std::vector<SweepResult>& results,
-                        std::string* error) {
+bool WriteSweepManifestRows(const std::string& path, const RunManifest& extra,
+                            const std::vector<SweepRunRow>& rows,
+                            std::string* error) {
   const std::filesystem::path parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
     std::error_code ec;
@@ -107,7 +107,7 @@ bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
     *error = "cannot open " + path;
     return false;
   }
-  f << "{\n  \"schema_version\": 1,\n";
+  f << "{\n  \"schema_version\": " << kSweepSchemaVersion << ",\n";
   f << "  \"git_describe\": \"" << JsonEscape(GitDescribe()) << "\",\n";
   f << "  \"sweep\": {";
   bool first = true;
@@ -118,10 +118,20 @@ bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
   f << (first ? "}," : "\n  },") << "\n";
   f << "  \"runs\": [";
   first = true;
-  for (const SweepResult& r : results) {
+  for (const SweepRunRow& r : rows) {
     f << (first ? "\n" : ",\n") << "    {\"index\": " << r.index << ", \"name\": \""
-      << JsonEscape(r.name) << "\", \"exit_code\": " << r.exit_code
-      << ", \"wall_seconds\": " << JsonNumber(r.wall_seconds) << "}";
+      << JsonEscape(r.name) << "\", \"status\": \"" << JsonEscape(r.status)
+      << "\", \"exit_code\": " << r.exit_code << ", \"signal\": " << r.signal
+      << ", \"attempts\": " << r.attempts
+      << ", \"wall_seconds\": " << JsonNumber(r.wall_seconds);
+    if (!r.salvaged.empty()) {
+      f << ", \"salvaged\": [";
+      for (size_t i = 0; i < r.salvaged.size(); ++i) {
+        f << (i == 0 ? "" : ", ") << "\"" << JsonEscape(r.salvaged[i]) << "\"";
+      }
+      f << "]";
+    }
+    f << "}";
     first = false;
   }
   f << (first ? "]" : "\n  ]") << "\n}\n";
@@ -131,6 +141,24 @@ bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
     return false;
   }
   return true;
+}
+
+bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
+                        const std::vector<SweepResult>& results,
+                        std::string* error) {
+  std::vector<SweepRunRow> rows;
+  rows.reserve(results.size());
+  for (const SweepResult& r : results) {
+    SweepRunRow row;
+    row.index = r.index;
+    row.name = r.name;
+    row.status = r.exit_code == 0 ? "ok" : "failed";
+    row.exit_code = r.exit_code;
+    row.attempts = 1;
+    row.wall_seconds = r.wall_seconds;
+    rows.push_back(std::move(row));
+  }
+  return WriteSweepManifestRows(path, extra, rows, error);
 }
 
 }  // namespace tfc

@@ -82,10 +82,36 @@ class SweepRunner {
   std::vector<SweepResult> results_ TFC_GUARDED_BY(mu_);
 };
 
+// sweep.json schema: v2 added per-run status ("ok" / "failed" / "timeout" /
+// "skipped-cached"), terminating signal, attempt count, and salvaged-file
+// inventory so a degraded sweep is still queryable run by run.
+inline constexpr int kSweepSchemaVersion = 2;
+
+// One row of the merged sweep manifest — the common shape between the
+// in-process SweepRunner and the fork-based RunSupervisor
+// (src/sim/supervisor.h).
+struct SweepRunRow {
+  int index = -1;
+  std::string name;
+  std::string status;  // "ok" | "failed" | "timeout" | "skipped-cached"
+  int exit_code = 0;
+  int signal = 0;      // terminating signal (0 = exited)
+  int attempts = 1;
+  double wall_seconds = 0.0;
+  std::vector<std::string> salvaged;  // files left by a failed run
+};
+
 // Writes the merged sweep manifest `<path>` (conventionally
 // <sweep-dir>/sweep.json): schema header, sweep-level config from `extra`,
-// and one entry per run {index, name, exit_code, wall_seconds}. Returns
-// false and sets *error on I/O failure.
+// and one entry per row. Returns false and sets *error on I/O failure.
+bool WriteSweepManifestRows(const std::string& path, const RunManifest& extra,
+                            const std::vector<SweepRunRow>& rows,
+                            std::string* error);
+
+// In-process runner convenience: every SweepResult becomes a single-attempt
+// row ("ok" on exit 0, "failed" otherwise, no signal — an in-process job
+// that dies by signal takes the whole sweep with it, which is exactly what
+// the supervisor exists to fix).
 bool WriteSweepManifest(const std::string& path, const RunManifest& extra,
                         const std::vector<SweepResult>& results,
                         std::string* error);

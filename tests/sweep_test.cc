@@ -160,12 +160,15 @@ TEST(SweepRunnerTest, ManifestListsEveryRun) {
   std::stringstream text;
   text << f.rdbuf();
   const std::string json = text.str();
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"tool\": \"sweep_test\""), std::string::npos);
   for (int i = 0; i < 3; ++i) {
     EXPECT_NE(json.find("\"name\": \"m" + std::to_string(i) + "\""),
               std::string::npos);
   }
+  // In-process results become single-attempt v2 rows.
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -103,6 +103,9 @@ HOT_IO_ALLOWED_FILES = {
     # The sweep runner writes the merged sweep manifest once per sweep —
     # orchestration-layer I/O, never per event.
     "src/sim/sweep.cc",
+    # The run supervisor forks/reaps children and reads their report pipes —
+    # cold orchestration I/O, once per run attempt, never per event.
+    "src/sim/supervisor.cc",
 }
 # packet-drop: the sanctioned drop-trace funnels. Everything else in src/
 # needs an explicit suppression tied to a counter.

@@ -3,6 +3,7 @@
 
 Usage: telemetry_schema.py RUN_DIR [RUN_DIR ...]
        telemetry_schema.py --flight DIR [DIR ...]
+       telemetry_schema.py --sweep SWEEP_DIR [SWEEP_DIR ...]
 
 Checks the files the exporter (src/sim/telemetry.cc) writes per run:
 
@@ -41,6 +42,18 @@ a run directory, or standalone via `--flight DIR`:
                         non-decreasing ts, whose "X" slices have dur >= 0,
                         and whose async "b"/"e" span pairs balance per
                         (cat, id).
+
+Sweep directories (`tfcsim --sweep N --telemetry-dir=DIR`) are validated
+via `--sweep DIR`:
+
+  sweep.json      object with schema_version == 2, git_describe, a "sweep"
+                  config object, and a "runs" list with one row per run:
+                  {index, name, status, exit_code, signal, attempts,
+                  wall_seconds} plus an optional "salvaged" file list.
+                  status is one of ok / failed / timeout / skipped-cached;
+                  every completed run's directory must itself validate as a
+                  full run directory (a degraded sweep may carry failed
+                  rows, but never corrupt completed ones).
 
 Exit status: 0 when every directory validates, 1 otherwise.
 """
@@ -405,15 +418,89 @@ def check_run_dir(run_dir: Path, ck: Checker) -> int:
     return samples
 
 
+SWEEP_SCHEMA_VERSION = 2
+RUN_STATUSES = {"ok", "failed", "timeout", "skipped-cached"}
+
+
+def check_sweep_dir(sweep_dir: Path, ck: Checker) -> int:
+    """Validates sweep.json and every completed run's directory; returns the
+    number of run rows."""
+    path = sweep_dir / "sweep.json"
+    doc = load_json(path, ck)
+    if doc is None:
+        return 0
+    where = str(path)
+    if not ck.expect(isinstance(doc, dict), where, "top level must be an object"):
+        return 0
+    ck.expect(doc.get("schema_version") == SWEEP_SCHEMA_VERSION, where,
+              f"schema_version must be {SWEEP_SCHEMA_VERSION}, "
+              f"got {doc.get('schema_version')!r}")
+    ck.expect(isinstance(doc.get("git_describe"), str) and doc.get("git_describe"),
+              where, "git_describe must be a non-empty string")
+    ck.expect(isinstance(doc.get("sweep"), dict), where, '"sweep" must be an object')
+    runs = doc.get("runs")
+    if not ck.expect(isinstance(runs, list) and runs, where,
+                     '"runs" must be a non-empty list'):
+        return 0
+    for i, r in enumerate(runs):
+        loc = f"{where} runs[{i}]"
+        if not ck.expect(isinstance(r, dict), loc, "run must be an object"):
+            continue
+        ck.expect(r.get("index") == i, loc,
+                  f'index must be {i}, got {r.get("index")!r}')
+        name = r.get("name")
+        ck.expect(isinstance(name, str) and name, loc,
+                  "name must be a non-empty string")
+        status = r.get("status")
+        if not ck.expect(status in RUN_STATUSES, loc,
+                         f"status must be one of {sorted(RUN_STATUSES)}, "
+                         f"got {status!r}"):
+            continue
+        exit_code = r.get("exit_code")
+        ck.expect(isinstance(exit_code, int) and not isinstance(exit_code, bool),
+                  loc, "exit_code must be an integer")
+        ck.expect(is_uint(r.get("signal")), loc,
+                  "signal must be a non-negative integer")
+        ck.expect(is_uint(r.get("attempts")), loc,
+                  "attempts must be a non-negative integer")
+        wall = r.get("wall_seconds")
+        ck.expect(is_number(wall) and wall >= 0, loc,
+                  "wall_seconds must be a non-negative number")
+        salvaged = r.get("salvaged", [])
+        ck.expect(isinstance(salvaged, list) and
+                  all(isinstance(s, str) and s for s in salvaged), loc,
+                  "salvaged must be a list of non-empty strings")
+        # Status/field consistency.
+        if status in ("ok", "skipped-cached"):
+            ck.expect(exit_code == 0, loc, f"{status} run with exit_code {exit_code!r}")
+            ck.expect(r.get("signal") == 0, loc, f"{status} run with a signal")
+        else:
+            ck.expect(exit_code != 0, loc, f"{status} run with exit_code 0")
+        if status == "skipped-cached":
+            ck.expect(r.get("attempts") == 0, loc,
+                      "skipped-cached run must record 0 attempts (never forked)")
+        elif is_uint(r.get("attempts")):
+            ck.expect(r.get("attempts") >= 1, loc,
+                      f"{status} run must record at least 1 attempt")
+        # A completed run must have left a fully valid run directory behind
+        # (sweep.json lives in the telemetry dir, so run dirs are siblings).
+        if status in ("ok", "skipped-cached") and isinstance(name, str) and name:
+            run_dir = sweep_dir / name
+            if ck.expect(run_dir.is_dir(), loc,
+                         f"completed run has no run directory {run_dir}"):
+                check_run_dir(run_dir, ck)
+    return len(runs)
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     ck = Checker()
     args = argv[1:]
-    flight_only = False
-    if args and args[0] == "--flight":
-        flight_only = True
+    mode = "run"
+    if args and args[0] in ("--flight", "--sweep"):
+        mode = args[0][2:]
         args = args[1:]
         if not args:
             print(__doc__.strip(), file=sys.stderr)
@@ -423,9 +510,13 @@ def main(argv: list[str]) -> int:
         if not run_dir.is_dir():
             ck.error(arg, "not a directory")
             continue
-        if flight_only:
+        if mode == "flight":
             events = check_flight_dir(run_dir, ck)
             print(f"telemetry_schema.py: {run_dir}: {events} flight event(s)",
+                  file=sys.stderr)
+        elif mode == "sweep":
+            runs = check_sweep_dir(run_dir, ck)
+            print(f"telemetry_schema.py: {run_dir}: {runs} sweep run(s)",
                   file=sys.stderr)
         else:
             samples = check_run_dir(run_dir, ck)

@@ -2,7 +2,7 @@
 # Local CI entry point — the same matrix .github/workflows/ci.yml runs.
 #
 #   ./ci.sh            full matrix: release, asan-ubsan, hardened, tsan, lint,
-#                      tidy, units, telemetry, trace, chaos, sweep
+#                      astlint, tidy, units, telemetry, trace, chaos, sweep
 #   ./ci.sh release    one leg by name
 #
 # Every leg must pass for the gate to be green. The sanitizer and hardened
@@ -22,7 +22,44 @@ run_preset() {
 leg_release()    { run_preset release; }
 leg_asan_ubsan() { run_preset asan-ubsan; }
 leg_hardened()   { run_preset hardened; }
-leg_lint()       { echo "=== [lint] tools/lint.py ==="; python3 tools/lint.py; }
+# When the astlint engine is available, the AST-precise rules own
+# bare-assert (src/), hot-io, and recorder-hot; lint.py stands those down
+# (--ast-owned) so a site is never double-reported. Without libclang, lint.py
+# runs all of its regex rules as the fallback.
+leg_lint() {
+  echo "=== [lint] tools/lint.py ==="
+  if python3 tools/astlint.py --probe >/dev/null 2>&1; then
+    python3 tools/lint.py --ast-owned
+  else
+    python3 tools/lint.py
+  fi
+}
+
+# AST determinism analyzer (tools/astlint.py): suppression-policy selftest
+# always runs; the libclang battery (fixture goldens + zero unsuppressed
+# findings over src/) skips with a warning where libclang is absent unless
+# TFC_ASTLINT_REQUIRE=1 (set in the CI job, which installs a pinned
+# libclang) turns a skip into a failure.
+leg_astlint() {
+  echo "=== [astlint] tools/astlint.py ==="
+  python3 tools/astlint.py --selftest
+  if ! python3 tools/astlint.py --probe; then
+    if [[ "${TFC_ASTLINT_REQUIRE:-0}" == "1" ]]; then
+      echo "astlint: engine required (TFC_ASTLINT_REQUIRE=1) but unavailable" >&2
+      exit 1
+    fi
+    echo "astlint: libclang unavailable — skipping AST battery (lint.py regex rules remain in force)" >&2
+    return 0
+  fi
+  for fixture in tests/astlint/fixtures/*.cc; do
+    python3 tools/astlint.py --fixture "${fixture}" \
+        --check-golden "${fixture%.cc}.expected"
+  done
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake --preset release
+  fi
+  python3 tools/astlint.py --build-dir build
+}
 
 # ThreadSanitizer leg: the tsan preset's ctest filter covers the concurrent
 # surface — the parallel sweep runner, the multi-instance (two Networks from
@@ -228,6 +265,7 @@ case "${1:-all}" in
   hardened)   leg_hardened ;;
   tsan)       leg_tsan ;;
   lint)       leg_lint ;;
+  astlint)    leg_astlint ;;
   tidy)       leg_tidy ;;
   units)      leg_units ;;
   telemetry)  leg_telemetry ;;
@@ -240,6 +278,7 @@ case "${1:-all}" in
     leg_hardened
     leg_tsan
     leg_lint
+    leg_astlint
     leg_tidy
     leg_units
     leg_telemetry
@@ -249,7 +288,7 @@ case "${1:-all}" in
     echo "=== ci.sh: all legs green ==="
     ;;
   *)
-    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|tidy|units|telemetry|trace|chaos|sweep|all]" >&2
+    echo "usage: $0 [release|asan-ubsan|hardened|tsan|lint|astlint|tidy|units|telemetry|trace|chaos|sweep|all]" >&2
     exit 2
     ;;
 esac

@@ -152,10 +152,10 @@ FaultInjector::FaultInjector(Network* net, uint64_t seed) : net_(net), rng_(seed
 }
 
 FaultInjector::~FaultInjector() {
-  for (auto& [port, state] : states_) {
-    (void)state;
-    if (port->fault_injector() == this) {
-      port->set_fault_injector(nullptr);
+  for (auto& [key, state] : states_) {
+    (void)key;
+    if (state.port->fault_injector() == this) {
+      state.port->set_fault_injector(nullptr);
     }
   }
   Scheduler& sched = net_->scheduler();
@@ -194,9 +194,14 @@ void FaultInjector::RegisterMetrics() {
                             [this] { return static_cast<double>(link_down_ns()); });
 }
 
+FaultInjector::PortKey FaultInjector::KeyOf(const Port* port) {
+  return PortKey(port->owner()->id(), port->index());
+}
+
 FaultInjector::PortState& FaultInjector::State(Port* port) {
-  auto [it, inserted] = states_.try_emplace(port);
+  auto [it, inserted] = states_.try_emplace(KeyOf(port));
   if (inserted) {
+    it->second.port = port;
     port->set_fault_injector(this);
   }
   return it->second;
@@ -210,7 +215,7 @@ void FaultInjector::Attach(Port* port, const FaultProfile& profile) {
 }
 
 void FaultInjector::Detach(Port* port) {
-  auto it = states_.find(port);
+  auto it = states_.find(KeyOf(port));
   if (it == states_.end()) {
     return;
   }
@@ -225,7 +230,7 @@ void FaultInjector::DropMatching(Port* port, PacketFilter filter) {
 }
 
 void FaultInjector::ClearFilter(Port* port) {
-  auto it = states_.find(port);
+  auto it = states_.find(KeyOf(port));
   if (it != states_.end()) {
     it->second.filter = PacketFilter();
   }
@@ -259,15 +264,17 @@ void FaultInjector::SetDuplexDown(Port* port, bool down) {
 }
 
 bool FaultInjector::link_down(Port* port) const {
-  auto it = states_.find(port);
+  auto it = states_.find(KeyOf(port));
   return it != states_.end() && it->second.down;
 }
 
 TimeNs FaultInjector::link_down_ns() const {
   const TimeNs now = net_->scheduler().now();
   TimeNs total = 0;
-  for (const auto& [port, st] : states_) {
-    (void)port;
+  // TimeNs additions commute exactly, but the sorted key still matters:
+  // a pointer-keyed walk would touch entries in ASLR-dependent order.
+  for (const auto& [key, st] : states_) {
+    (void)key;
     total += st.down_accum + (st.down ? now - st.down_since : 0);
   }
   return total;
@@ -437,7 +444,7 @@ void FaultInjector::Destroy(Port* port, PacketPtr pkt) {
 
 void FaultInjector::OnWire(Port* port, PacketPtr pkt) {
   ++inspected_;
-  auto it = states_.find(port);
+  auto it = states_.find(KeyOf(port));
   if (it == states_.end()) {
     port->DeliverToPeer(std::move(pkt), 0);
     return;

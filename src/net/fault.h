@@ -29,8 +29,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/net/packet.h"
@@ -173,6 +174,7 @@ class FaultInjector {
 
  private:
   struct PortState {
+    Port* port = nullptr;  // back-pointer for detach-on-destruction
     FaultProfile profile;
     bool attached = false;  // profile in force (filters/down work regardless)
     bool ge_bad = false;
@@ -181,6 +183,15 @@ class FaultInjector {
     TimeNs down_accum = 0;
     PacketFilter filter;
   };
+
+  // Deterministic port identity: (owner node id, port index). Keying the
+  // state map by this instead of the Port* keeps lookup O(log n) while
+  // making iteration order a pure function of the topology — a pointer key
+  // would order (and, in an unordered map, bucket) entries by heap address,
+  // which varies run-to-run under ASLR and would leak into anything that
+  // walks the map (det-pointer-key / det-unordered-iter, tools/astlint.py).
+  using PortKey = std::pair<int, int>;
+  static PortKey KeyOf(const Port* port);
 
   // Finds-or-creates the state for `port` and points the port at us.
   PortState& State(Port* port);
@@ -195,7 +206,7 @@ class FaultInjector {
 
   Network* net_;
   Rng rng_;
-  std::unordered_map<Port*, PortState> states_;
+  std::map<PortKey, PortState> states_;
   std::vector<Scheduler::EventId> timeline_;  // cancelled on destruction
 
   uint64_t inspected_ = 0;

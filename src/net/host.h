@@ -10,7 +10,7 @@
 #ifndef SRC_NET_HOST_H_
 #define SRC_NET_HOST_H_
 
-#include <unordered_map>
+#include <map>
 
 #include "src/net/node.h"
 #include "src/sim/random.h"
@@ -63,7 +63,10 @@ class Host : public Node {
   uint64_t down_drops() const { return down_drops_; }
 
  private:
-  std::unordered_map<int, Endpoint*> endpoints_;
+  // Ordered by flow id: iteration order (and with it any future traversal)
+  // is deterministic, never a function of libc hash salt (det-unordered-iter,
+  // tools/astlint.py).
+  std::map<int, Endpoint*> endpoints_;
   TimeNs proc_base_ = 0;
   TimeNs proc_jitter_ = 0;
   TimeNs last_departure_ = 0;

@@ -1,0 +1,14 @@
+// Seeded violation for the bare-assert rule: an assert() macro
+// instantiation (found via the preprocessing record, not regex) must be
+// TFC_CHECK / TFC_DCHECK instead. Golden: bare_assert.expected.
+
+#include "std_mock.h"
+
+namespace tfc {
+
+int Checked(int credits) {
+  assert(credits >= 0);  // VIOLATION bare-assert
+  return credits;
+}
+
+}  // namespace tfc

@@ -1,0 +1,34 @@
+// Clean control: deterministic idioms the analyzer must NOT flag — ordered
+// traversal, keyed lookup, seeded randomness. Golden: clean_control.expected
+// (empty).
+
+#include "std_mock.h"
+
+namespace tfc {
+
+class Scheduler {
+ public:
+  long DrainUntil(long deadline) {
+    long processed = 0;
+    for (const auto& kv : queue_) {  // clean: std::map iterates in key order
+      if (kv.first > deadline) {
+        break;
+      }
+      ++processed;
+    }
+    return processed;
+  }
+
+  bool Pending(long t) const {
+    return queue_.count(t) != 0;  // clean: keyed lookup
+  }
+
+ private:
+  std::map<long, int> queue_;
+};
+
+int Draw(std::mt19937& rng) {
+  return static_cast<int>(rng());  // clean: seeded generator
+}
+
+}  // namespace tfc

@@ -1,0 +1,41 @@
+// Seeded violations for the det-unordered-iter rule: traversing an
+// unordered container leaks hash-salt order; keyed lookup and ordered
+// traversal stay clean. Golden: det_unordered_iter.expected.
+
+#include "std_mock.h"
+
+namespace tfc {
+
+class FlowTable {
+ public:
+  long Sum() {
+    long total = 0;
+    for (const auto& kv : flows_) {  // VIOLATION det-unordered-iter
+      total += kv.second;
+    }
+    return total;
+  }
+
+  long SumOrdered() {
+    long total = 0;
+    for (const auto& kv : ordered_) {  // clean: std::map iterates sorted
+      total += kv.second;
+    }
+    return total;
+  }
+
+  bool Has(int id) const {
+    return flows_.count(id) != 0;  // clean: keyed lookup, no traversal
+  }
+
+  auto First() {
+    return members_.begin();  // VIOLATION det-unordered-iter
+  }
+
+ private:
+  std::unordered_map<int, long> flows_;
+  std::map<int, long> ordered_;
+  std::unordered_set<int> members_;
+};
+
+}  // namespace tfc

@@ -1,0 +1,30 @@
+// Seeded violations for the det-wallclock rule: every ambient time/entropy
+// source in a deterministic layer must be flagged; the seeded generator at
+// the bottom must not. Golden: det_wallclock.expected.
+
+#include "std_mock.h"
+
+namespace tfc {
+
+long WallSeconds() {
+  return std::time(nullptr);  // VIOLATION det-wallclock
+}
+
+int AmbientEntropy() {
+  std::random_device rd;  // VIOLATION det-wallclock
+  return static_cast<int>(rd());
+}
+
+long MonotonicNow() {
+  return std::chrono::steady_clock::now().count();  // VIOLATION det-wallclock
+}
+
+int LibcRand() {
+  return rand();  // VIOLATION det-wallclock (global-namespace spelling)
+}
+
+int SeededDraw(std::mt19937& rng) {
+  return static_cast<int>(rng());  // clean: seeded generator is the contract
+}
+
+}  // namespace tfc

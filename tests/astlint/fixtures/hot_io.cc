@@ -1,0 +1,24 @@
+// Seeded violations for the hot-io rule: stream/printf I/O referenced from
+// a hot layer. Golden: hot_io.expected.
+
+#include "std_mock.h"
+
+namespace tfc {
+
+void Narrate(long now) {
+  std::printf("t=%ld\n", now);  // VIOLATION hot-io
+}
+
+class Dumper {
+ public:
+  void Open() { out_.open("dump.txt"); }  // clean: uses, doesn't declare
+
+ private:
+  std::ofstream out_;  // VIOLATION hot-io (stream member in hot layer)
+};
+
+void Stream() {
+  std::cout.put('x');  // VIOLATION hot-io
+}
+
+}  // namespace tfc

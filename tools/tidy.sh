@@ -27,8 +27,24 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
   exit 2
 fi
 
-mapfile -t FILES < <(find src tests bench examples -name '*.cc' -o -name '*.cpp' | sort)
-echo "tidy.sh: linting ${#FILES[@]} files with $("${TIDY}" --version | head -n1)"
+# The file list comes from the build's own compile_commands.json (every
+# preset exports one), so the lint surface is exactly the set of TUs the
+# build compiles — no drift between find(1) globs and reality, and the same
+# database astlint.py analyzes.
+mapfile -t FILES < <(python3 - "${BUILD_DIR}/compile_commands.json" <<'PY'
+import json, os, sys
+repo = os.getcwd()
+files = set()
+with open(sys.argv[1]) as f:
+    for entry in json.load(f):
+        path = os.path.realpath(os.path.join(entry["directory"], entry["file"]))
+        if path.startswith(repo + os.sep):
+            files.add(os.path.relpath(path, repo))
+print("\n".join(sorted(files)))
+PY
+)
+echo "tidy.sh: linting ${#FILES[@]} TUs from ${BUILD_DIR}/compile_commands.json" \
+     "with $("${TIDY}" --version | head -n1)"
 
 RUNNER="$(command -v run-clang-tidy || true)"
 if [[ -n "${RUNNER}" ]]; then

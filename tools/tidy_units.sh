@@ -34,8 +34,25 @@ fi
 
 CHECKS='-*,bugprone-narrowing-conversions,bugprone-implicit-widening-of-multiplication-result,cppcoreguidelines-narrowing-conversions'
 
-mapfile -t FILES < <(find src/net src/tfc src/transport -name '*.cc' | sort)
-echo "tidy_units.sh: narrowing profile over ${#FILES[@]} files" \
+# Quantity-carrying TUs, taken from the build's compile_commands.json (not
+# a find glob) so the gate covers exactly what the build compiles.
+mapfile -t FILES < <(python3 - "${BUILD_DIR}/compile_commands.json" <<'PY'
+import json, os, sys
+repo = os.getcwd()
+layers = ("src/net/", "src/tfc/", "src/transport/")
+files = set()
+with open(sys.argv[1]) as f:
+    for entry in json.load(f):
+        path = os.path.realpath(os.path.join(entry["directory"], entry["file"]))
+        if not path.startswith(repo + os.sep):
+            continue
+        rel = os.path.relpath(path, repo)
+        if rel.startswith(layers):
+            files.add(rel)
+print("\n".join(sorted(files)))
+PY
+)
+echo "tidy_units.sh: narrowing profile over ${#FILES[@]} TUs" \
      "with $("${TIDY}" --version | head -n1)"
 "${TIDY}" -quiet -p "${BUILD_DIR}" --checks="${CHECKS}" \
     --warnings-as-errors='*' "${FILES[@]}"
